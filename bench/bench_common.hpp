@@ -1,0 +1,31 @@
+// Shared helpers for the table-style benches (experiments E1-E8 of
+// DESIGN.md): consistent headers, adversary construction, ratio formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace amo::benchx {
+
+inline void print_title(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("%s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const text_table& t) {
+  std::fputs(t.render().c_str(), stdout);
+}
+
+inline std::string ratio(double measured, double reference) {
+  if (reference == 0.0) return "-";
+  return fmt(measured / reference, 3);
+}
+
+inline std::string yesno(bool b) { return b ? "yes" : "NO"; }
+
+}  // namespace amo::benchx

@@ -1,0 +1,147 @@
+// Experiment E1 — Theorem 4.4 (with Lemma 4.2 and Theorem 2.1).
+//
+// Table 1: effectiveness of KK_beta under the paper's tight adversary
+// (crash each of processes 1..m-1 right after its first announce) against
+// the closed form n - (beta + m - 2), the n - f ceiling, and the trivial
+// baseline (m - f) * n / m. The "measured" and "formula" columns must agree
+// exactly; the paper's claim is that the measured value sits within an
+// additive m of the ceiling.
+//
+// Table 2: minimum effectiveness across crash-free adversary families —
+// every schedule must land between the formula and n.
+#include <algorithm>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+using namespace amo;
+
+void table_worst_case() {
+  benchx::print_title(
+      "E1.1  Effectiveness of KK_beta under the Theorem 4.4 adversary",
+      "claim: exactly n - (beta + m - 2); within additive m of the n-f ceiling");
+  text_table t({"n", "m", "beta", "f", "measured", "formula", "ceiling n-f",
+                "trivial", "exact?"});
+  for (const usize n : {usize{1024}, usize{16384}, usize{131072}}) {
+    for (const usize m : {usize{2}, usize{8}, usize{32}}) {
+      for (const usize beta : {m, 3 * m * m}) {
+        if (beta + m >= n) continue;
+        sim::kk_sim_options opt;
+        opt.n = n;
+        opt.m = m;
+        opt.beta = beta;
+        opt.crash_budget = m - 1;
+        sim::announce_crash_adversary adv;
+        const auto r = sim::run_kk<>(opt, adv);
+        const usize formula = bounds::kk_effectiveness(n, m, beta);
+        t.add_row({fmt_count(n), fmt_count(m), fmt_count(beta), fmt_count(m - 1),
+                   fmt_count(r.effectiveness), fmt_count(formula),
+                   fmt_count(bounds::effectiveness_upper(n, m - 1)),
+                   fmt_count(bounds::trivial_effectiveness(n, m, m - 1)),
+                   benchx::yesno(r.effectiveness == formula && r.at_most_once)});
+      }
+    }
+  }
+  benchx::print_table(t);
+}
+
+void table_crash_free() {
+  benchx::print_title(
+      "E1.2  Minimum effectiveness across crash-free schedules",
+      "claim: every quiescent execution performs >= n - (beta + m - 2) jobs");
+  text_table t({"n", "m", "min effectiveness", "formula", "max (any schedule)",
+                "bound met?"});
+  for (const usize n : {usize{4096}, usize{65536}}) {
+    for (const usize m : {usize{2}, usize{8}, usize{32}}) {
+      usize lo = ~usize{0};
+      usize hi = 0;
+      for (const auto& factory : sim::standard_adversaries()) {
+        for (const std::uint64_t seed : {1ull, 2ull}) {
+          sim::kk_sim_options opt;
+          opt.n = n;
+          opt.m = m;
+          auto adv = factory.make(seed);
+          const auto r = sim::run_kk<>(opt, *adv);
+          lo = std::min(lo, r.effectiveness);
+          hi = std::max(hi, r.effectiveness);
+        }
+      }
+      const usize formula = bounds::kk_effectiveness(n, m, m);
+      t.add_row({fmt_count(n), fmt_count(m), fmt_count(lo), fmt_count(formula),
+                 fmt_count(hi), benchx::yesno(lo >= formula)});
+    }
+  }
+  benchx::print_table(t);
+}
+
+void table_beta_sweep() {
+  benchx::print_title(
+      "E1.3  Loss grows linearly in beta (tight adversary, n = 32768, m = 8)",
+      "claim: unperformed jobs = beta + m - 2 for every beta >= m");
+  text_table t({"beta", "measured loss", "beta+m-2", "exact?"});
+  const usize n = 32768;
+  const usize m = 8;
+  for (const usize beta : {usize{8}, usize{16}, usize{64}, usize{192}, usize{1024}}) {
+    sim::kk_sim_options opt;
+    opt.n = n;
+    opt.m = m;
+    opt.beta = beta;
+    opt.crash_budget = m - 1;
+    sim::announce_crash_adversary adv;
+    const auto r = sim::run_kk<>(opt, adv);
+    const usize loss = n - r.effectiveness;
+    t.add_row({fmt_count(beta), fmt_count(loss), fmt_count(beta + m - 2),
+               benchx::yesno(loss == beta + m - 2)});
+  }
+  benchx::print_table(t);
+}
+
+void table_distribution() {
+  benchx::print_title(
+      "E1.4  Effectiveness distribution over 64 random crashy schedules "
+      "(n = 16384, m = 8, f <= 7)",
+      "context: the Theorem 4.4 floor is a worst case; typical schedules sit "
+      "between floor and n");
+  const usize n = 16384;
+  const usize m = 8;
+  std::vector<usize> samples;
+  samples.reserve(64);
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    sim::kk_sim_options opt;
+    opt.n = n;
+    opt.m = m;
+    opt.crash_budget = m - 1;
+    sim::random_adversary adv(seed * 104729, 1, 400);
+    const auto r = sim::run_kk<>(opt, adv);
+    samples.push_back(r.effectiveness);
+  }
+  std::sort(samples.begin(), samples.end());
+  text_table t({"statistic", "jobs performed", "loss vs n"});
+  auto row = [&](const char* label, usize v) {
+    t.add_row({label, fmt_count(v), fmt_count(n - v)});
+  };
+  row("floor n-(2m-2)", bounds::kk_effectiveness(n, m, m));
+  row("min", samples.front());
+  row("p10", samples[samples.size() / 10]);
+  row("median", samples[samples.size() / 2]);
+  row("p90", samples[(samples.size() * 9) / 10]);
+  row("max", samples.back());
+  row("ceiling n", n);
+  benchx::print_table(t);
+}
+
+}  // namespace
+
+int main() {
+  amo::stopwatch clock;
+  table_worst_case();
+  table_crash_free();
+  table_beta_sweep();
+  table_distribution();
+  std::printf("\n[bench_effectiveness done in %.1fs]\n", clock.seconds());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment E11 — exhaustive verification (library addition): enumerate
+// EVERY interleaving and crash placement of small KK_beta instances and
+// decide Lemma 4.1, Theorem 4.4 and acyclicity over the full execution
+// space. This complements the sampled sweeps of E2: for these instances the
+// result is a proof-by-enumeration, not a test.
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "model/explorer.hpp"
+
+int main() {
+  using namespace amo;
+  stopwatch clock;
+  benchx::print_title(
+      "E11  Exhaustive model checking of KK_beta (all schedules, all crashes)",
+      "claims: no duplicate anywhere; min quiescent effectiveness == "
+      "n-(beta+m-2); acyclic for beta >= m");
+
+  text_table t({"n", "m", "beta", "f", "states", "transitions", "dup-free?",
+                "acyclic?", "min eff", "formula", "tight?"});
+  struct instance {
+    usize n, m, beta, f;
+  };
+  const instance grid[] = {
+      {2, 2, 2, 1}, {3, 2, 2, 1}, {4, 2, 2, 1}, {5, 2, 2, 1}, {6, 2, 2, 1},
+      {7, 2, 2, 1}, {4, 2, 3, 1}, {5, 2, 4, 1}, {3, 3, 3, 2}, {4, 3, 3, 2},
+      {5, 3, 3, 2},
+  };
+  for (const auto& g : grid) {
+    model::explore_options opt;
+    opt.cfg.n = g.n;
+    opt.cfg.m = g.m;
+    opt.cfg.beta = g.beta;
+    opt.cfg.crash_budget = g.f;
+    const auto r = model::explore(opt);
+    const usize formula = bounds::kk_effectiveness(g.n, g.m, g.beta);
+    if (!r.complete) {
+      t.add_row({fmt_count(g.n), fmt_count(g.m), fmt_count(g.beta),
+                 fmt_count(g.f), "capped", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    // Tightness needs n >= beta + m - 1 (otherwise the formula saturates at
+    // 0 while the first compNext, which always sees TRY = {}, still finds
+    // >= beta candidates — the worst case is then better than the bound).
+    const bool degenerate = formula == 0;
+    t.add_row({fmt_count(g.n), fmt_count(g.m), fmt_count(g.beta),
+               fmt_count(g.f), fmt_count(r.states), fmt_count(r.transitions),
+               benchx::yesno(!r.duplicate_found), benchx::yesno(!r.cycle_found),
+               fmt_count(r.min_effectiveness), fmt_count(formula),
+               degenerate ? "n/a" : benchx::yesno(r.min_effectiveness == formula)});
+  }
+  benchx::print_table(t);
+
+  benchx::print_title(
+      "E11.2  The beta >= m requirement, made sharp by enumeration",
+      "m = 2, beta = 1 two-ends (AO2): acyclic — wait-free with optimal n-1\n"
+      "effectiveness. m = 3, beta = 1 < m: a livelock cycle exists (two\n"
+      "same-side processes re-pick identically forever). Safety holds in\n"
+      "every reachable state either way — Lemma 4.1 is rule/beta-independent.");
+  text_table t2({"rule", "m", "beta", "states", "dup-free?", "acyclic?",
+                 "min eff"});
+  struct probe {
+    selection_rule rule;
+    usize n, m, beta, f;
+    const char* label;
+  };
+  const probe probes[] = {
+      {selection_rule::two_ends, 4, 2, 1, 1, "two_ends"},
+      {selection_rule::two_ends, 2, 3, 1, 0, "two_ends"},
+      {selection_rule::paper_rank, 4, 2, 2, 1, "paper_rank"},
+      {selection_rule::paper_rank, 4, 3, 3, 2, "paper_rank"},
+  };
+  for (const auto& p : probes) {
+    model::explore_options opt;
+    opt.cfg.n = p.n;
+    opt.cfg.m = p.m;
+    opt.cfg.beta = p.beta;
+    opt.cfg.rule = p.rule;
+    opt.cfg.crash_budget = p.f;
+    const auto r = model::explore(opt);
+    t2.add_row({p.label, fmt_count(p.m), fmt_count(p.beta), fmt_count(r.states),
+                benchx::yesno(!r.duplicate_found), benchx::yesno(!r.cycle_found),
+                r.quiescent_states > 0 ? fmt_count(r.min_effectiveness) : "-"});
+  }
+  benchx::print_table(t2);
+  std::printf("\n[bench_model_check done in %.1fs]\n", clock.seconds());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Experiment E10 (ablation) — the FREE-set representation: the paper
+// prescribes "a red-black tree or some variant of B-tree"; libamo offers
+// three O(log n) structures. Micro-benchmarks of the hot operations
+// (erase, select, rank_le — the compNext/gatherDone inner loops) plus an
+// end-to-end KK_beta run per structure.
+#include <benchmark/benchmark.h>
+
+#include "sets/bitset_rank_set.hpp"
+#include "sets/fenwick_rank_set.hpp"
+#include "sets/ostree.hpp"
+#include "sim/harness.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace amo;
+
+template <class S>
+void BM_EraseSelect(benchmark::State& state) {
+  const job_id universe = static_cast<job_id>(state.range(0));
+  xoshiro256 rng(42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    S s = S::full(universe);
+    state.ResumeTiming();
+    // Erase half the universe interleaved with selects — the KK access mix.
+    for (usize i = 0; i < universe / 2; ++i) {
+      const usize sz = s.size();
+      const job_id victim = s.select(rng.below(sz) + 1);
+      s.erase(victim);
+      benchmark::DoNotOptimize(s.rank_le(victim));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(universe / 2));
+}
+
+template <class S>
+void BM_EndToEndKk(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  const usize m = 8;
+  for (auto _ : state) {
+    sim::kk_sim_options opt;
+    opt.n = n;
+    opt.m = m;
+    sim::round_robin_adversary adv;
+    const auto r = sim::run_kk<S>(opt, adv);
+    if (!r.at_most_once) state.SkipWithError("duplicate");
+    benchmark::DoNotOptimize(r.effectiveness);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_EraseSelect, ostree)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK_TEMPLATE(BM_EraseSelect, fenwick_rank_set)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK_TEMPLATE(BM_EraseSelect, bitset_rank_set)->Arg(1 << 14)->Arg(1 << 17);
+
+BENCHMARK_TEMPLATE(BM_EndToEndKk, ostree)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_EndToEndKk, fenwick_rank_set)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_EndToEndKk, bitset_rank_set)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Experiment E2 — Lemma 4.1 at scale: a large randomized sweep over sizes,
+// process counts, beta values, adversary families, seeds and crash budgets.
+// The table reports do-action volume and duplicate counts; every duplicate
+// cell must read 0.
+#include "bench_common.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+using namespace amo;
+
+struct bucket {
+  usize runs = 0;
+  usize performs = 0;
+  usize duplicates = 0;
+  usize crashes = 0;
+  usize livelocks = 0;
+};
+
+}  // namespace
+
+int main() {
+  stopwatch clock;
+  benchx::print_title(
+      "E2  At-most-once safety sweep (Lemma 4.1)",
+      "claim: zero duplicate do-actions over every adversarial schedule");
+
+  text_table t({"adversary", "runs", "do-actions", "crashes", "duplicates",
+                "livelocks", "safe?"});
+  usize grand_runs = 0;
+  usize grand_dups = 0;
+  for (const auto& factory : sim::standard_adversaries()) {
+    bucket b;
+    for (const usize n : {usize{256}, usize{1024}, usize{3000}}) {
+      for (const usize m : {usize{2}, usize{5}, usize{12}}) {
+        for (const usize beta : {m, 2 * m, 3 * m * m}) {
+          if (beta + m >= n) continue;
+          for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+            for (const usize f : {usize{0}, m - 1}) {
+              sim::kk_sim_options opt;
+              opt.n = n;
+              opt.m = m;
+              opt.beta = beta;
+              opt.crash_budget = f;
+              auto adv = factory.make(seed * 7919);
+              const auto r = sim::run_kk<>(opt, *adv);
+              ++b.runs;
+              b.performs += r.perform_events;
+              b.duplicates += r.perform_events - r.effectiveness;
+              b.crashes += r.sched.crashes;
+              b.livelocks += r.sched.quiescent ? 0 : 1;
+            }
+          }
+        }
+      }
+    }
+    grand_runs += b.runs;
+    grand_dups += b.duplicates;
+    t.add_row({factory.label, fmt_count(b.runs), fmt_count(b.performs),
+               fmt_count(b.crashes), fmt_count(b.duplicates),
+               fmt_count(b.livelocks), benchx::yesno(b.duplicates == 0)});
+  }
+  benchx::print_table(t);
+  std::printf("\nTotal: %s executions, %s duplicates.\n",
+              fmt_count(grand_runs).c_str(), fmt_count(grand_dups).c_str());
+  std::printf("\n[bench_safety_sweep done in %.1fs]\n", clock.seconds());
+  return grand_dups == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Experiment E3 — wait-freedom (Lemma 4.3): steps to quiescence across
+// adversary families, reported against the per-job action cost model and
+// the defensive livelock limit. A livelock would show as a "no" in the
+// quiescent column; none may appear for beta >= m.
+#include "bench_common.hpp"
+#include "sim/harness.hpp"
+
+int main() {
+  using namespace amo;
+  stopwatch clock;
+  benchx::print_title(
+      "E3  Wait-freedom / termination (Lemma 4.3)",
+      "claim: every fair execution quiesces; actions stay near (2m+6) per job");
+
+  text_table t({"n", "m", "adversary", "steps", "steps/(n(2m+6))", "quiescent?"});
+  for (const usize n : {usize{1024}, usize{16384}, usize{65536}}) {
+    for (const usize m : {usize{2}, usize{8}, usize{24}}) {
+      for (const auto& factory : sim::standard_adversaries()) {
+        sim::kk_sim_options opt;
+        opt.n = n;
+        opt.m = m;
+        opt.crash_budget = m - 1;
+        auto adv = factory.make(4242);
+        const auto r = sim::run_kk<>(opt, *adv);
+        const double per_job_model = static_cast<double>(n) * (2.0 * m + 6.0);
+        t.add_row({fmt_count(n), fmt_count(m), factory.label,
+                   fmt_count(r.sched.total_steps),
+                   benchx::ratio(static_cast<double>(r.sched.total_steps),
+                                 per_job_model),
+                   benchx::yesno(r.sched.quiescent)});
+      }
+    }
+  }
+  benchx::print_table(t);
+
+  benchx::print_title(
+      "E3.2  beta < m forfeits the termination guarantee (bounded-run probe)",
+      "context: Section 3 — correctness holds for any beta, termination needs beta >= m");
+  text_table t2({"m", "beta", "steps used", "quiescent?", "safe?"});
+  for (const usize beta : {usize{1}, usize{2}}) {
+    const usize m = 4;
+    sim::kk_sim_options opt;
+    opt.n = 512;
+    opt.m = m;
+    opt.beta = beta;
+    opt.max_steps = 512 * 4 * 64;
+    sim::random_adversary adv(99);
+    const auto r = sim::run_kk<>(opt, adv);
+    t2.add_row({fmt_count(m), fmt_count(beta), fmt_count(r.sched.total_steps),
+                benchx::yesno(r.sched.quiescent), benchx::yesno(r.at_most_once)});
+  }
+  benchx::print_table(t2);
+  std::printf("\n[bench_termination done in %.1fs]\n", clock.seconds());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Experiment E9 (library addition, not a paper claim) — real-hardware
+// throughput of the at-most-once executor on std::atomic registers, against
+// two practical comparators that use stronger primitives:
+//   * an atomic fetch-add work counter (the classic "next index" pattern),
+//   * a per-job TAS claim board.
+// KK_beta is expected to be slower (it pays register-only coordination:
+// ~2m shared reads per job) — the bench quantifies the price of the
+// wait-free registers-only guarantee, and its scaling in m.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/tas_executor.hpp"
+#include "rt/at_most_once.hpp"
+
+namespace {
+
+using namespace amo;
+
+void BM_KkExecutor(benchmark::State& state) {
+  const usize m = static_cast<usize>(state.range(0));
+  const usize n = static_cast<usize>(state.range(1));
+  usize performed = 0;
+  for (auto _ : state) {
+    run_config cfg;
+    cfg.num_jobs = n;
+    cfg.num_threads = m;
+    const auto r = perform_at_most_once(cfg, nullptr);
+    if (!r.at_most_once) state.SkipWithError("duplicate detected");
+    performed += r.jobs_performed;
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(performed), benchmark::Counter::kIsRate);
+}
+
+void BM_IterativeExecutor(benchmark::State& state) {
+  const usize m = static_cast<usize>(state.range(0));
+  const usize n = static_cast<usize>(state.range(1));
+  usize performed = 0;
+  for (auto _ : state) {
+    run_config cfg;
+    cfg.num_jobs = n;
+    cfg.num_threads = m;
+    const auto r = perform_at_most_once_iterative(cfg, 2, nullptr);
+    if (!r.at_most_once) state.SkipWithError("duplicate detected");
+    performed += r.jobs_performed;
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(performed), benchmark::Counter::kIsRate);
+}
+
+void BM_FetchAddCounter(benchmark::State& state) {
+  const usize m = static_cast<usize>(state.range(0));
+  const usize n = static_cast<usize>(state.range(1));
+  usize performed = 0;
+  for (auto _ : state) {
+    std::atomic<usize> next{0};
+    std::atomic<usize> done{0};
+    {
+      std::vector<std::jthread> threads;
+      for (usize i = 0; i < m; ++i) {
+        threads.emplace_back([&next, &done, n] {
+          usize mine = 0;
+          while (true) {
+            const usize j = next.fetch_add(1, std::memory_order_relaxed);
+            if (j >= n) break;
+            ++mine;
+          }
+          done.fetch_add(mine, std::memory_order_relaxed);
+        });
+      }
+    }
+    performed += done.load();
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(performed), benchmark::Counter::kIsRate);
+}
+
+void BM_TasBoard(benchmark::State& state) {
+  const usize m = static_cast<usize>(state.range(0));
+  const usize n = static_cast<usize>(state.range(1));
+  usize performed = 0;
+  for (auto _ : state) {
+    baseline::tas_board board(n);
+    std::atomic<usize> done{0};
+    {
+      std::vector<std::jthread> threads;
+      for (usize t = 1; t <= m; ++t) {
+        threads.emplace_back([&board, &done, t, m, n] {
+          op_counter oc;
+          usize mine = 0;
+          job_id j = static_cast<job_id>((t - 1) * n / m + 1);
+          for (usize k = 0; k < n; ++k) {
+            if (board.claim(j, oc)) ++mine;
+            j = j == n ? 1 : j + 1;
+          }
+          done.fetch_add(mine, std::memory_order_relaxed);
+        });
+      }
+    }
+    performed += done.load();
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(performed), benchmark::Counter::kIsRate);
+}
+
+usize max_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 8 : std::min<usize>(hc, 16);
+}
+
+void register_all() {
+  const std::int64_t n = 65536;
+  for (std::int64_t m : {std::int64_t{1}, std::int64_t{2}, std::int64_t{4},
+                         std::int64_t{8}}) {
+    if (static_cast<usize>(m) > max_threads()) break;
+    benchmark::RegisterBenchmark("KkExecutor", BM_KkExecutor)
+        ->Args({m, n})
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("IterativeExecutor", BM_IterativeExecutor)
+        ->Args({m, n})
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("FetchAddCounter", BM_FetchAddCounter)
+        ->Args({m, n})
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("TasBoard", BM_TasBoard)
+        ->Args({m, n})
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

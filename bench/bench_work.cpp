@@ -1,0 +1,99 @@
+// Experiment E4 — Theorem 5.6: with beta = 3m^2, total work is
+// O(n m log n log m). Two sweeps — n at fixed m and m at fixed n — report
+// the measured-work / envelope ratio, which must stay bounded (roughly
+// flat or decreasing) as the axis grows. The stale_view schedule is
+// included as the collision-heavy stressor; round_robin as the fair one.
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+using namespace amo;
+
+void sweep_n() {
+  benchx::print_title(
+      "E4.1  Work scaling in n (m = 8, beta = 3m^2 = 192)",
+      "claim: work / (n m lg n lg m) stays bounded as n grows");
+  text_table t({"n", "adversary", "work", "envelope", "ratio"});
+  const usize m = 8;
+  for (const usize n : {usize{2048}, usize{8192}, usize{32768}, usize{131072}}) {
+    for (const char* which : {"round_robin", "stale_view"}) {
+      sim::kk_sim_options opt;
+      opt.n = n;
+      opt.m = m;
+      opt.beta = 3 * m * m;
+      std::unique_ptr<sim::adversary> adv;
+      if (std::string(which) == "round_robin") {
+        adv = std::make_unique<sim::round_robin_adversary>();
+      } else {
+        adv = std::make_unique<sim::stale_view_adversary>(n * 4);
+      }
+      const auto r = sim::run_kk<>(opt, *adv);
+      const double envelope = bounds::kk_work_envelope(n, m);
+      t.add_row({fmt_count(n), which, fmt_count(r.total_work.total()),
+                 fmt_count(static_cast<std::uint64_t>(envelope)),
+                 benchx::ratio(static_cast<double>(r.total_work.total()),
+                               envelope)});
+    }
+  }
+  benchx::print_table(t);
+}
+
+void sweep_m() {
+  benchx::print_title(
+      "E4.2  Work scaling in m (n = 65536, beta = 3m^2)",
+      "claim: work / (n m lg n lg m) stays bounded as m grows");
+  text_table t({"m", "beta", "work", "envelope", "ratio", "collisions"});
+  const usize n = 65536;
+  for (const usize m : {usize{2}, usize{4}, usize{8}, usize{16}, usize{32}}) {
+    sim::kk_sim_options opt;
+    opt.n = n;
+    opt.m = m;
+    opt.beta = 3 * m * m;
+    sim::round_robin_adversary adv;
+    const auto r = sim::run_kk<>(opt, adv);
+    const double envelope = bounds::kk_work_envelope(n, m);
+    t.add_row({fmt_count(m), fmt_count(3 * m * m), fmt_count(r.total_work.total()),
+               fmt_count(static_cast<std::uint64_t>(envelope)),
+               benchx::ratio(static_cast<double>(r.total_work.total()), envelope),
+               fmt_count(r.total_collisions)});
+  }
+  benchx::print_table(t);
+}
+
+void decompose() {
+  benchx::print_title(
+      "E4.3  Work decomposition (n = 32768, m = 8, beta = 192, round_robin)",
+      "context: gather passes dominate, as the Theorem 5.6 accounting predicts");
+  const usize n = 32768;
+  const usize m = 8;
+  sim::kk_sim_options opt;
+  opt.n = n;
+  opt.m = m;
+  opt.beta = 3 * m * m;
+  sim::round_robin_adversary adv;
+  const auto r = sim::run_kk<>(opt, adv);
+  text_table t({"component", "count", "share"});
+  const double total = static_cast<double>(r.total_work.total());
+  t.add_row({"shared reads", fmt_count(r.total_work.shared_reads),
+             benchx::ratio(static_cast<double>(r.total_work.shared_reads), total)});
+  t.add_row({"shared writes", fmt_count(r.total_work.shared_writes),
+             benchx::ratio(static_cast<double>(r.total_work.shared_writes), total)});
+  t.add_row({"set/local ops", fmt_count(r.total_work.local_ops),
+             benchx::ratio(static_cast<double>(r.total_work.local_ops), total)});
+  t.add_row({"actions", fmt_count(r.total_work.actions),
+             benchx::ratio(static_cast<double>(r.total_work.actions), total)});
+  benchx::print_table(t);
+}
+
+}  // namespace
+
+int main() {
+  stopwatch clock;
+  sweep_n();
+  sweep_m();
+  decompose();
+  std::printf("\n[bench_work done in %.1fs]\n", clock.seconds());
+  return 0;
+}

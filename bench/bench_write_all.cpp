@@ -1,0 +1,153 @@
+// Experiment E7 — Theorem 7.1: WA_IterativeKK(eps) solves Write-All with
+// work O(n + m^{3+eps} lg n); compared against the baseline suite. The
+// shape that must hold (the paper vs Malewicz/trivial): ours completes with
+// near-linear work for m << n, beats "everyone writes everything" (m*n) by
+// roughly a factor m, and stays close to the TAS-based comparator that uses
+// stronger-than-register primitives.
+#include <cmath>
+#include <memory>
+
+#include "analysis/bounds.hpp"
+#include "baselines/tas_executor.hpp"
+#include "baselines/write_all_baselines.hpp"
+#include "bench_common.hpp"
+#include "sim/harness.hpp"
+#include "util/math.hpp"
+
+namespace {
+
+using namespace amo;
+
+struct wa_result {
+  bool complete = false;
+  std::uint64_t work = 0;
+};
+
+wa_result run_ours(usize n, usize m, usize f, std::uint64_t seed) {
+  sim::iter_sim_options opt;
+  opt.n = n;
+  opt.m = m;
+  opt.eps_inv = 2;
+  opt.write_all = true;
+  opt.crash_budget = f;
+  sim::random_adversary adv(seed, f > 0 ? 1 : 0, 1000);
+  const auto r = sim::run_iterative(opt, adv);
+  return {r.wa_complete, r.total_work.total()};
+}
+
+template <class Proc>
+wa_result run_baseline(usize n, usize m, usize f, std::uint64_t seed) {
+  write_all_array wa(n);
+  std::unique_ptr<baseline::wa_count_tree> tree;
+  std::vector<std::unique_ptr<automaton>> procs;
+  std::vector<automaton*> handles;
+  for (process_id pid = 1; pid <= m; ++pid) {
+    if constexpr (std::is_same_v<Proc, baseline::wa_split_scan_process>) {
+      procs.push_back(std::make_unique<Proc>(wa, m, pid));
+    } else if constexpr (std::is_same_v<Proc, baseline::wa_progress_tree_process>) {
+      if (!tree) {
+        tree = std::make_unique<baseline::wa_count_tree>(ceil_div(n, 64));
+      }
+      procs.push_back(std::make_unique<Proc>(wa, *tree, pid, 64));
+    } else {
+      procs.push_back(std::make_unique<Proc>(wa, pid));
+    }
+    handles.push_back(procs.back().get());
+  }
+  sim::scheduler sched(handles);
+  sim::random_adversary adv(seed, f > 0 ? 1 : 0, 1000);
+  const auto result = sched.run(adv, f, 1000u * n + 10000000u);
+  std::uint64_t work = 0;
+  for (const auto& p : procs) {
+    work += static_cast<const Proc*>(p.get())->work().total();
+  }
+  return {result.quiescent && wa.complete(), work};
+}
+
+wa_result run_tas_wa(usize n, usize m, usize f, std::uint64_t seed) {
+  write_all_array wa(n);
+  baseline::tas_board board(n);
+  std::vector<std::unique_ptr<baseline::tas_process>> procs;
+  std::vector<automaton*> handles;
+  for (process_id pid = 1; pid <= m; ++pid) {
+    procs.push_back(std::make_unique<baseline::tas_process>(
+        board, m, pid, [&wa](process_id, job_id j) { wa.set(j); }));
+    handles.push_back(procs.back().get());
+  }
+  sim::scheduler sched(handles);
+  sim::random_adversary adv(seed, f > 0 ? 1 : 0, 1000);
+  const auto result = sched.run(adv, f, 1000u * n + 10000000u);
+  std::uint64_t work = 0;
+  for (const auto& p : procs) work += p->work().total();
+  // TAS loses claimed-but-unperformed cells on crash; a real TAS-based WA
+  // would re-scan. Completeness here refers to crash-free runs.
+  return {result.quiescent && wa.complete(), work};
+}
+
+void table(bool with_crashes) {
+  text_table t({"n", "m", "algorithm", "complete?", "work", "work/n"});
+  for (const usize n : {usize{16384}, usize{131072}}) {
+    for (const usize m : {usize{4}, usize{16}}) {
+      const usize f = with_crashes ? m - 1 : 0;
+      struct row {
+        const char* label;
+        wa_result r;
+      };
+      const row rows[] = {
+          {"WA_IterativeKK(1/2)", run_ours(n, m, f, 5)},
+          {"wa_trivial (m*n)", run_baseline<baseline::wa_trivial_process>(n, m, f, 5)},
+          {"wa_split_scan", run_baseline<baseline::wa_split_scan_process>(n, m, f, 5)},
+          {"wa_progress_tree", run_baseline<baseline::wa_progress_tree_process>(n, m, f, 5)},
+          {"TAS-based (RMW)", run_tas_wa(n, m, f, 5)},
+      };
+      for (const auto& row : rows) {
+        t.add_row({fmt_count(n), fmt_count(m), row.label,
+                   benchx::yesno(row.r.complete), fmt_count(row.r.work),
+                   fmt(static_cast<double>(row.r.work) / static_cast<double>(n), 2)});
+      }
+    }
+  }
+  benchx::print_table(t);
+}
+
+}  // namespace
+
+int main() {
+  stopwatch clock;
+  benchx::print_title(
+      "E7.1  Write-All, crash-free (f = 0)",
+      "claim: WA_IterativeKK work ~ n + m^{3+eps} lg n; trivial pays m*n");
+  table(false);
+
+  benchx::print_title(
+      "E7.2  Write-All under crashes (f = m-1, random crash schedule)",
+      "claim: completion whenever one process survives; ours stays near-linear");
+  // TAS row may read "NO" here: claimed-but-unperformed cells are lost on
+  // crash unless the algorithm re-scans — which registers-only WA must not
+  // need. That asymmetry is part of the story.
+  table(true);
+
+  benchx::print_title(
+      "E7.3  Work envelope check for WA_IterativeKK(1/2)",
+      "claim: measured / (n + m^{3.5} lg n) bounded for m within the\n"
+      "optimality range m <= (n/lg n)^{1/3.5} (outside it the pipeline\n"
+      "degenerates to plain KK at the final level — the paper's restriction)");
+  text_table t({"n", "m", "m in range?", "work", "envelope", "ratio"});
+  for (const usize n :
+       {usize{16384}, usize{131072}, usize{524288}, usize{4194304}}) {
+    for (const usize m : {usize{4}, usize{16}}) {
+      if (m == 4 && n > 524288) continue;  // the big point is for m = 16
+      const double lim =
+          std::pow(static_cast<double>(n) / clamped_log2(n), 1.0 / 3.5);
+      const auto r = run_ours(n, m, 0, 9);
+      const double envelope = bounds::iterative_work_envelope(n, m, 2);
+      t.add_row({fmt_count(n), fmt_count(m),
+                 benchx::yesno(static_cast<double>(m) <= lim), fmt_count(r.work),
+                 fmt_count(static_cast<std::uint64_t>(envelope)),
+                 benchx::ratio(static_cast<double>(r.work), envelope)});
+    }
+  }
+  benchx::print_table(t);
+  std::printf("\n[bench_write_all done in %.1fs]\n", clock.seconds());
+  return 0;
+}

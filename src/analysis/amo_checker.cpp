@@ -1,0 +1,41 @@
+#include "analysis/amo_checker.hpp"
+
+#include <cassert>
+
+namespace amo {
+
+amo_checker::amo_checker(usize n)
+    : n_(n),
+      count_(new std::atomic<std::uint32_t>[n + 1]),
+      performer_(new std::atomic<std::uint32_t>[n + 1]) {
+  for (usize i = 0; i <= n; ++i) {
+    count_[i].store(0, std::memory_order_relaxed);
+    performer_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void amo_checker::record(process_id p, job_id j) {
+  assert(j >= 1 && j <= n_);
+  events_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t prev = count_[j].fetch_add(1, std::memory_order_acq_rel);
+  if (prev == 0) {
+    performer_[j].store(p, std::memory_order_relaxed);
+    distinct_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    job_id expected = no_job;
+    first_duplicate_.compare_exchange_strong(expected, j,
+                                             std::memory_order_relaxed);
+  }
+}
+
+process_id amo_checker::performer_of(job_id j) const {
+  assert(j >= 1 && j <= n_);
+  return performer_[j].load(std::memory_order_relaxed);
+}
+
+usize amo_checker::times_performed(job_id j) const {
+  assert(j >= 1 && j <= n_);
+  return count_[j].load(std::memory_order_relaxed);
+}
+
+}  // namespace amo

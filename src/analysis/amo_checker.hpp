@@ -1,0 +1,66 @@
+// Verifies the at-most-once property (Definition 2.2) over a stream of
+// do_{p,j} events: for every job j, the number of perform events is <= 1.
+//
+// Thread-safe by construction (per-job atomic counters incremented from the
+// on_perform hook), so the same checker validates both simulated executions
+// and real-thread runs. Also records the performer of each job, which the
+// collision ledger uses to attribute DONE-collisions to process pairs.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace amo {
+
+class amo_checker {
+ public:
+  /// Checker for jobs 1..n.
+  explicit amo_checker(usize n);
+
+  /// Records that process p performed job j. Safe to call concurrently.
+  void record(process_id p, job_id j);
+
+  /// Number of distinct jobs performed — Do(alpha) of Definition 2.1.
+  [[nodiscard]] usize distinct() const {
+    return distinct_.load(std::memory_order_relaxed);
+  }
+
+  /// Total perform events (== distinct() iff the execution is correct).
+  [[nodiscard]] usize total_events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  /// True iff no job was performed more than once so far.
+  [[nodiscard]] bool ok() const { return violations() == 0; }
+
+  /// Number of extra (duplicate) perform events observed.
+  [[nodiscard]] usize violations() const {
+    return events_.load(std::memory_order_relaxed) -
+           distinct_.load(std::memory_order_relaxed);
+  }
+
+  /// A job that was performed twice, or no_job if none.
+  [[nodiscard]] job_id first_duplicate() const {
+    return first_duplicate_.load(std::memory_order_relaxed);
+  }
+
+  /// Who performed job j (first recorded performer), or 0.
+  [[nodiscard]] process_id performer_of(job_id j) const;
+
+  /// How many times job j was performed.
+  [[nodiscard]] usize times_performed(job_id j) const;
+
+  [[nodiscard]] usize num_jobs() const { return n_; }
+
+ private:
+  usize n_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> count_;      // per job
+  std::unique_ptr<std::atomic<std::uint32_t>[]> performer_;  // per job
+  std::atomic<usize> events_{0};
+  std::atomic<usize> distinct_{0};
+  std::atomic<job_id> first_duplicate_{no_job};
+};
+
+}  // namespace amo

@@ -1,0 +1,49 @@
+#include "analysis/collision_ledger.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace amo {
+
+collision_ledger::collision_ledger(usize m, usize n)
+    : m_(m), n_(n), counts_(m * m, 0) {}
+
+void collision_ledger::record(process_id p, job_id j, process_id announcer,
+                              bool via_done, const amo_checker& checker) {
+  ++total_;
+  process_id blamed = announcer;
+  if (via_done) blamed = checker.performer_of(j);
+  if (blamed == 0 || blamed > m_) {
+    // Should not happen in correct executions; kept as a counter rather than
+    // an assert so broken-configuration experiments can still report.
+    ++unattributed_;
+    return;
+  }
+  ++counts_[(p - 1) * m_ + (blamed - 1)];
+}
+
+usize collision_ledger::count(process_id p, process_id q) const {
+  assert(p >= 1 && p <= m_ && q >= 1 && q <= m_);
+  return counts_[(p - 1) * m_ + (q - 1)];
+}
+
+usize collision_ledger::pair_bound(process_id p, process_id q) const {
+  assert(p != q);
+  const usize dist = p > q ? p - q : q - p;
+  return static_cast<usize>(2 * ceil_div(n_, m_ * dist));
+}
+
+double collision_ledger::worst_pair_ratio() const {
+  double worst = 0.0;
+  for (process_id p = 1; p <= m_; ++p) {
+    for (process_id q = static_cast<process_id>(p + 1); q <= m_; ++q) {
+      const double ratio = static_cast<double>(pair_total(p, q)) /
+                           static_cast<double>(pair_bound(p, q));
+      if (ratio > worst) worst = ratio;
+    }
+  }
+  return worst;
+}
+
+}  // namespace amo

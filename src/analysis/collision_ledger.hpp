@@ -1,0 +1,61 @@
+// Pairwise collision accounting for the work analysis of Section 5.
+//
+// Definition 5.2: process p "collided with" process q in job i when p's
+// check failed because it found i announced by q (TRY-hit) or recorded as
+// performed by q (DONE-hit). Lemma 5.5 bounds the number of times p can
+// collide with q by 2*ceil(n / (m*|q-p|)), and Theorem 5.6 aggregates this
+// to fewer than 4*(n+1)*log m collisions overall (for beta >= 3m^2).
+//
+// The ledger receives every failed check via the on_collision hook; for
+// DONE-hits the announcer is unknown at the hook site, so blame is resolved
+// through the amo_checker's performer table (the performer of a job is
+// unique precisely because the algorithm is correct).
+#pragma once
+
+#include <vector>
+
+#include "analysis/amo_checker.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class collision_ledger {
+ public:
+  /// Ledger for m processes over n jobs.
+  collision_ledger(usize m, usize n);
+
+  /// Records a failed check by p on job j. `announcer` is the TRY-hit blame
+  /// (0 for DONE-hits); `checker` resolves DONE-hit blame.
+  void record(process_id p, job_id j, process_id announcer, bool via_done,
+              const amo_checker& checker);
+
+  [[nodiscard]] usize total() const { return total_; }
+  [[nodiscard]] usize unattributed() const { return unattributed_; }
+
+  /// Collisions of p with q (directed: p detected, q blamed).
+  [[nodiscard]] usize count(process_id p, process_id q) const;
+
+  /// Undirected pair total: p with q plus q with p.
+  [[nodiscard]] usize pair_total(process_id p, process_id q) const {
+    return count(p, q) + count(q, p);
+  }
+
+  /// Lemma 5.5's bound for this pair: 2 * ceil(n / (m * |q - p|)).
+  [[nodiscard]] usize pair_bound(process_id p, process_id q) const;
+
+  /// Largest ratio pair_total/pair_bound over all pairs (<= 1.0 means every
+  /// pair respects Lemma 5.5).
+  [[nodiscard]] double worst_pair_ratio() const;
+
+  [[nodiscard]] usize num_processes() const { return m_; }
+  [[nodiscard]] usize num_jobs() const { return n_; }
+
+ private:
+  usize m_;
+  usize n_;
+  usize total_ = 0;
+  usize unattributed_ = 0;
+  std::vector<usize> counts_;  // m*m, row = detector-1, col = blamed-1
+};
+
+}  // namespace amo

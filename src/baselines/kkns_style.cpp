@@ -1,0 +1,17 @@
+#include "baselines/kkns_style.hpp"
+
+namespace amo::baseline {
+
+sim::kk_sim_report run_ao2(usize n, usize crash_budget, sim::adversary& adv,
+                           usize max_steps) {
+  sim::kk_sim_options opt;
+  opt.n = n;
+  opt.m = 2;
+  opt.beta = 1;
+  opt.crash_budget = crash_budget;
+  opt.rule = selection_rule::two_ends;
+  opt.max_steps = max_steps;
+  return sim::run_kk<>(opt, adv);
+}
+
+}  // namespace amo::baseline

@@ -1,0 +1,43 @@
+#include "baselines/tas_executor.hpp"
+
+#include <cassert>
+
+namespace amo::baseline {
+
+tas_process::tas_process(tas_board& board, usize m, process_id pid, perform_fn fn)
+    : board_(board), pid_(pid), fn_(std::move(fn)) {
+  const usize n = board.size();
+  cursor_ = static_cast<job_id>((static_cast<usize>(pid - 1) * n) / m + 1);
+  if (cursor_ > n) cursor_ = 1;
+}
+
+action_kind tas_process::next_action() const {
+  if (crashed_) return action_kind::crashed;
+  if (done_) return action_kind::terminated;
+  return claimed_ != no_job ? action_kind::perform : action_kind::announce;
+}
+
+void tas_process::step() {
+  assert(runnable());
+  ++stats_.actions;
+  if (claimed_ != no_job) {
+    // Perform the job won in the previous action.
+    if (fn_) fn_(pid_, claimed_);
+    ++performed_;
+    claimed_ = no_job;
+    return;
+  }
+  if (attempts_ == board_.size()) {
+    done_ = true;
+    return;
+  }
+  ++attempts_;
+  const job_id j = cursor_;
+  cursor_ = cursor_ == board_.size() ? 1 : cursor_ + 1;
+  if (board_.claim(j, stats_)) {
+    claimed_ = j;
+    ++claims_won_;
+  }
+}
+
+}  // namespace amo::baseline

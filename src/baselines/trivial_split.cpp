@@ -1,0 +1,28 @@
+#include "baselines/trivial_split.hpp"
+
+#include <cassert>
+
+namespace amo::baseline {
+
+trivial_split_process::trivial_split_process(usize n, usize m, process_id pid,
+                                             perform_fn fn)
+    : pid_(pid), fn_(std::move(fn)) {
+  assert(pid >= 1 && pid <= m);
+  const usize group = n / m;
+  cursor_ = static_cast<job_id>((pid - 1) * group + 1);
+  last_ = static_cast<job_id>(pid == m ? n : pid * group);
+  if (group == 0 && pid != m) {
+    // Fewer jobs than processes: everything lands on the last process.
+    cursor_ = 1;
+    last_ = 0;  // empty range
+  }
+}
+
+void trivial_split_process::step() {
+  assert(runnable());
+  if (fn_) fn_(pid_, cursor_);
+  ++performed_;
+  ++cursor_;
+}
+
+}  // namespace amo::baseline

@@ -1,0 +1,62 @@
+// The process-automaton interface the scheduler drives.
+//
+// Section 2.1 models each process as an I/O automaton; an execution is an
+// alternating sequence of states and actions where each transition is
+// performed by one process. `step()` executes exactly one locally controlled
+// action; `crash()` is the environment's stop_p input action. The adversary
+// (sim/adversary.hpp) decides, before every transition, which runnable
+// process acts or whether to spend a crash.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace amo {
+
+/// Coarse classification of the next enabled action; enough for adversaries
+/// to implement the paper's scheduling strategies without depending on a
+/// concrete algorithm type.
+enum class action_kind : std::uint8_t {
+  local_compute,   ///< purely local transition (compNext, check)
+  announce,        ///< shared write of next_p (setNext)
+  gather,          ///< shared read (gatherTry / gatherDone / flag reads)
+  perform,         ///< the do_{p,j} output action
+  record,          ///< shared write of done_{p,pos}
+  terminated,      ///< no action enabled: reached `end`
+  crashed,         ///< no action enabled: stop_p occurred
+};
+
+class automaton {
+ public:
+  virtual ~automaton() = default;
+
+  /// Executes exactly one enabled action. Precondition: runnable().
+  virtual void step() = 0;
+
+  /// True while some locally controlled action is enabled (status is neither
+  /// `end` nor `stop`).
+  [[nodiscard]] virtual bool runnable() const = 0;
+
+  /// The environment's stop_p action; after this, runnable() is false
+  /// forever and no further action will be taken.
+  virtual void crash() = 0;
+
+  /// 1-based process identifier.
+  [[nodiscard]] virtual process_id id() const = 0;
+
+  /// Classification of the action step() would execute next.
+  [[nodiscard]] virtual action_kind next_action() const = 0;
+
+  // --- Omniscient-adversary probes (Section 2.1: the adversary has
+  // --- complete knowledge of the algorithm and its state).
+
+  /// How many announce (setNext) actions this process has executed.
+  [[nodiscard]] virtual usize announce_count() const = 0;
+
+  /// How many do_{p,j} actions this process has executed.
+  [[nodiscard]] virtual usize perform_count() const = 0;
+
+  /// Total actions executed.
+  [[nodiscard]] virtual usize step_count() const = 0;
+};
+
+}  // namespace amo

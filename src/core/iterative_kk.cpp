@@ -1,0 +1,15 @@
+// Explicit instantiations of the IterativeKK(eps) composed automaton.
+#include "core/iterative_kk.hpp"
+
+#include "mem/atomic_memory.hpp"
+#include "mem/sim_memory.hpp"
+#include "sets/fenwick_rank_set.hpp"
+#include "sets/ostree.hpp"
+
+namespace amo {
+
+template class iterative_process<sim_memory, bitset_rank_set>;
+template class iterative_process<sim_memory, ostree>;
+template class iterative_process<atomic_memory, bitset_rank_set>;
+
+}  // namespace amo

@@ -1,0 +1,70 @@
+#include "core/super_job.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace amo {
+
+std::vector<job_id> map_super_jobs(std::span<const job_id> set1,
+                                   const super_job_space& from,
+                                   const super_job_space& to) {
+  assert(from.n == to.n);
+  assert(to.size <= from.size);
+  assert(from.size % to.size == 0 && "level sizes must nest");
+  const usize ratio = from.size / to.size;
+  const usize out_count = to.count();
+  std::vector<job_id> out;
+  out.reserve(set1.size() * ratio);
+  for (const job_id s : set1) {
+    const usize first = (static_cast<usize>(s) - 1) * ratio + 1;
+    usize last = static_cast<usize>(s) * ratio;
+    if (last > out_count) last = out_count;  // tail super-job clamps at n
+    for (usize c = first; c <= last; ++c) out.push_back(static_cast<job_id>(c));
+  }
+  return out;
+}
+
+iterative_plan make_iterative_plan(usize n, usize m, unsigned eps_inv) {
+  assert(n >= 1 && m >= 1);
+  if (eps_inv == 0) eps_inv = 1;
+  iterative_plan plan;
+  plan.n = n;
+  plan.m = m;
+  plan.eps_inv = eps_inv;
+  plan.beta = 3 * m * m;
+
+  const double lg_n = static_cast<double>(clamped_log2(n));
+  const double lg_m = static_cast<double>(clamped_log2(m));
+  const double md = static_cast<double>(m);
+
+  auto clamp_pow2 = [&](double raw, usize previous) -> usize {
+    usize v = raw < 1.0 ? 1 : static_cast<usize>(floor_pow2(
+                                   static_cast<std::uint64_t>(raw)));
+    if (v > previous) v = previous;  // sizes must be non-increasing
+    if (v > n) v = static_cast<usize>(floor_pow2(n));
+    if (v < 1) v = 1;
+    return v;
+  };
+
+  // Line 01 of Fig. 3: size = m * log n * log m.
+  usize prev = static_cast<usize>(floor_pow2(n));
+  const usize d0 = clamp_pow2(md * lg_n * lg_m, prev);
+  plan.levels.push_back({n, d0});
+  prev = d0;
+
+  // Lines 04-09: size_i = m^{1 - i*eps} * log n * log^{1+i} m.
+  const double eps = 1.0 / static_cast<double>(eps_inv);
+  for (unsigned i = 1; i <= eps_inv; ++i) {
+    const double raw = std::pow(md, 1.0 - static_cast<double>(i) * eps) * lg_n *
+                       std::pow(lg_m, 1.0 + static_cast<double>(i));
+    const usize di = clamp_pow2(raw, prev);
+    plan.levels.push_back({n, di});
+    prev = di;
+  }
+
+  // Lines 10-13: final granularity is single jobs.
+  plan.levels.push_back({n, 1});
+  return plan;
+}
+
+}  // namespace amo

@@ -1,0 +1,10 @@
+// write_all_array is header-only; this translation unit exists so the
+// target has a home for future non-template WA helpers and to keep the
+// build graph uniform (one .cpp per public header).
+#include "core/wa_iterative_kk.hpp"
+
+namespace amo {
+
+static_assert(sizeof(write_all_array) > 0);
+
+}  // namespace amo

@@ -1,0 +1,11 @@
+#include "mem/atomic_memory.hpp"
+
+namespace amo {
+
+atomic_memory::atomic_memory(usize num_processes, usize num_jobs)
+    : m_(num_processes),
+      n_(num_jobs),
+      next_(num_processes),            // std::atomic value-initializes to 0 (C++20)
+      done_(num_processes * num_jobs) {}
+
+}  // namespace amo

@@ -1,0 +1,86 @@
+// Real-hardware backend for the Fig. 1 register file: std::atomic<job_id>
+// cells with sequentially consistent ordering.
+//
+// Why seq_cst: the paper's proofs are stated over linearizable atomic
+// read/write registers — a single total order over all memory operations
+// consistent with real time. seq_cst is the only std::memory_order whose
+// semantics give such a total order over every access; weaker orders admit
+// executions with no single linearization of all cells, voiding the
+// Dekker-style announce-then-check argument at the heart of Lemma 4.1.
+// (C++ Core Guidelines CP.100 endorses exactly this usage of atomics.)
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class atomic_memory {
+ public:
+  /// Register file for m processes and n jobs. Allocates the full m x n
+  /// done matrix (each process can in principle perform every job).
+  atomic_memory(usize num_processes, usize num_jobs);
+
+  atomic_memory(const atomic_memory&) = delete;
+  atomic_memory& operator=(const atomic_memory&) = delete;
+
+  [[nodiscard]] usize num_processes() const { return m_; }
+  [[nodiscard]] usize num_jobs() const { return n_; }
+
+  [[nodiscard]] job_id read_next(process_id q, op_counter& oc) {
+    ++oc.shared_reads;
+    return next_[q - 1].load(std::memory_order_seq_cst);
+  }
+
+  void write_next(process_id p, job_id v, op_counter& oc) {
+    ++oc.shared_writes;
+    next_[p - 1].store(v, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] job_id read_done(process_id q, usize pos, op_counter& oc) {
+    ++oc.shared_reads;
+    assert(pos >= 1 && pos <= n_);
+    return done_[(q - 1) * n_ + (pos - 1)].load(std::memory_order_seq_cst);
+  }
+
+  void write_done(process_id p, usize pos, job_id v, op_counter& oc) {
+    ++oc.shared_writes;
+    assert(pos >= 1 && pos <= n_);
+    done_[(p - 1) * n_ + (pos - 1)].store(v, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool read_flag(op_counter& oc) {
+    ++oc.shared_reads;
+    return flag_.load(std::memory_order_seq_cst) != 0;
+  }
+
+  void raise_flag(op_counter& oc) {
+    ++oc.shared_writes;
+    flag_.store(1, std::memory_order_seq_cst);
+  }
+
+  // ----- uncharged observation API (post-run verification only) -----
+
+  [[nodiscard]] job_id peek_next(process_id q) const {
+    return next_[q - 1].load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] job_id peek_done(process_id q, usize pos) const {
+    return done_[(q - 1) * n_ + (pos - 1)].load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] bool peek_flag() const {
+    return flag_.load(std::memory_order_seq_cst) != 0;
+  }
+
+ private:
+  usize m_;
+  usize n_;
+  std::vector<std::atomic<job_id>> next_;
+  std::vector<std::atomic<job_id>> done_;  // row-major, stride n_
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace amo

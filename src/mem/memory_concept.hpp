@@ -1,0 +1,38 @@
+// The shared-memory register file of Fig. 1, as a compile-time interface.
+//
+//   next  — m cells; next[q] is written only by process q (SWMR) and holds
+//           the job q has announced (0 = none).
+//   done  — m rows; row q is an append-only log of the jobs q has performed,
+//           written only by q at positions 1,2,3,...
+//   flag  — the IterStepKK termination flag (Section 6); unused (always 0)
+//           in plain KK_beta mode.
+//
+// Two models implement this concept: `sim_memory` (scheduler-linearized
+// plain memory with per-access accounting) and `atomic_memory`
+// (std::atomic<job_id>, seq_cst, for the real-thread runtime). kk_process is
+// templated over the model so the exact same algorithm code runs in both.
+#pragma once
+
+#include <concepts>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+template <class M>
+concept kk_memory = requires(M m, const M cm, process_id p, usize i, job_id v,
+                             op_counter& oc) {
+  // All accessors charge the caller's work counter: one shared read or
+  // write per call, per the paper's cost model.
+  { m.read_next(p, oc) } -> std::convertible_to<job_id>;
+  { m.write_next(p, v, oc) };
+  { m.read_done(p, i, oc) } -> std::convertible_to<job_id>;  // i is 1-based
+  { m.write_done(p, i, v, oc) };
+  { m.read_flag(oc) } -> std::convertible_to<bool>;
+  { m.raise_flag(oc) };
+  { cm.num_processes() } -> std::convertible_to<usize>;
+  { cm.num_jobs() } -> std::convertible_to<usize>;
+};
+
+}  // namespace amo

@@ -1,0 +1,12 @@
+#include "mem/sim_memory.hpp"
+
+namespace amo {
+
+sim_memory::sim_memory(usize num_processes, usize num_jobs)
+    : m_(num_processes), n_(num_jobs), next_(num_processes, no_job),
+      done_(num_processes) {
+  // Rows grow on demand; reserve a small prefix to avoid early churn.
+  for (auto& row : done_) row.reserve(16);
+}
+
+}  // namespace amo

@@ -1,0 +1,37 @@
+// Exhaustive interleaving exploration over kk_model: depth-first search of
+// the full transition graph (every scheduler choice, every crash placement
+// within budget), with fingerprint-based visited-state dedup and on-stack
+// cycle detection.
+//
+// Because the adversary of Section 2.1 is exactly "pick any runnable
+// process (or crash one) at each step", the reachable-state graph *is* the
+// set of all executions; properties checked here hold for every execution
+// of the modeled instance, not merely sampled ones.
+#pragma once
+
+#include "model/kk_model.hpp"
+
+namespace amo::model {
+
+struct explore_options {
+  model_config cfg;
+  /// Abort (result.complete = false) after visiting this many states.
+  usize max_states = 20'000'000;
+};
+
+struct explore_result {
+  bool complete = false;        ///< full graph explored (no cap hit)
+  usize states = 0;             ///< distinct states visited
+  usize transitions = 0;        ///< edges traversed
+  bool duplicate_found = false; ///< Lemma 4.1 violated somewhere
+  bool cycle_found = false;     ///< some infinite execution exists
+  bool lemma62_violated = false;  ///< iter modes: a returned job was performed
+  usize quiescent_states = 0;
+  usize min_effectiveness = ~usize{0};  ///< min jobs over quiescent states
+  usize max_effectiveness = 0;
+  usize max_depth = 0;          ///< longest execution prefix explored
+};
+
+explore_result explore(const explore_options& opt);
+
+}  // namespace amo::model

@@ -1,0 +1,302 @@
+#include "model/kk_model.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "util/prng.hpp"
+
+namespace amo::model {
+
+namespace {
+
+constexpr job_mask bit_of(std::uint8_t job) {
+  return static_cast<job_mask>(job_mask{1} << (job - 1));
+}
+
+/// k-th (1-based) set bit of mask, as a job id.
+std::uint8_t select_bit(job_mask mask, usize k) {
+  assert(k >= 1 && k <= static_cast<usize>(std::popcount(mask)));
+  for (usize i = 1; i < k; ++i) mask &= static_cast<job_mask>(mask - 1);
+  return static_cast<std::uint8_t>(std::countr_zero(mask) + 1);
+}
+
+/// Mirrors kk_process::choose_rank_index + rank_excluding: the Fig. 2
+/// candidate for process p given its FREE and TRY views.
+std::uint8_t choose_candidate(const proc_state& ps, const model_config& cfg,
+                              process_id p) {
+  const job_mask avail_mask = static_cast<job_mask>(ps.free & ~ps.try_);
+  const usize avail = static_cast<usize>(std::popcount(avail_mask));
+  assert(avail > 0);
+  usize idx;
+  if (cfg.rule == selection_rule::two_ends) {
+    if (p % 2 == 1) {
+      idx = (p + 1) / 2;
+    } else {
+      const usize from_high = p / 2;
+      idx = avail >= from_high ? avail - from_high + 1 : 1;
+    }
+  } else {
+    const usize f = static_cast<usize>(std::popcount(ps.free));
+    if (f >= 2 * cfg.m - 1) {
+      idx = static_cast<usize>((static_cast<std::uint64_t>(p - 1) *
+                                static_cast<std::uint64_t>(f - cfg.m + 1)) /
+                               cfg.m) +
+            1;
+    } else {
+      idx = p;
+    }
+  }
+  if (idx > avail) idx = avail;
+  return select_bit(avail_mask, idx);
+}
+
+}  // namespace
+
+sys_state initial_state(const model_config& cfg) {
+  assert(cfg.n >= 1 && cfg.n <= max_jobs);
+  assert(cfg.m >= 1 && cfg.m <= max_procs);
+  sys_state s{};
+  for (usize p = 0; p < cfg.m; ++p) {
+    proc_state& ps = s.procs[p];
+    ps.status = cfg.mode == kk_mode::plain ? kk_status::comp_next
+                                           : kk_status::flag_poll;
+    ps.free = static_cast<job_mask>((job_mask{1} << cfg.n) - 1);
+    for (usize q = 0; q < cfg.m; ++q) ps.pos[q] = 1;
+  }
+  return s;
+}
+
+bool lemma62_holds(const sys_state& s, const model_config& cfg) {
+  for (usize p = 0; p < cfg.m; ++p) {
+    if (s.procs[p].has_output && (s.procs[p].output & s.performed) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool runnable(const sys_state& s, [[maybe_unused]] const model_config& cfg,
+              process_id p) {
+  assert(p >= 1 && p <= cfg.m);
+  const kk_status st = s.procs[p - 1].status;
+  return st != kk_status::end && st != kk_status::stop;
+}
+
+bool quiescent(const sys_state& s, const model_config& cfg) {
+  for (process_id p = 1; p <= cfg.m; ++p) {
+    if (runnable(s, cfg, p)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void begin_finalize(proc_state& ps) {
+  ps.finalizing = true;
+  ps.q = 1;
+  ps.try_ = 0;
+  ps.status = kk_status::gather_try;
+}
+
+void finish_output(proc_state& ps, const model_config& cfg) {
+  if (cfg.mode != kk_mode::plain) {
+    ps.output = cfg.mode == kk_mode::wa_iter_step
+                    ? ps.free
+                    : static_cast<job_mask>(ps.free & ~ps.try_);
+    ps.has_output = true;
+  }
+  ps.status = kk_status::end;
+}
+
+}  // namespace
+
+sys_state step(const sys_state& s, const model_config& cfg, process_id p) {
+  assert(runnable(s, cfg, p));
+  sys_state out = s;
+  proc_state& ps = out.procs[p - 1];
+  switch (ps.status) {
+    case kk_status::flag_poll: {
+      if (out.flag) {
+        begin_finalize(ps);
+      } else {
+        ps.status = kk_status::comp_next;
+      }
+      break;
+    }
+    case kk_status::flag_raise: {
+      out.flag = true;
+      begin_finalize(ps);
+      break;
+    }
+    case kk_status::flag_gate: {
+      if (out.flag) {
+        begin_finalize(ps);
+      } else {
+        ps.status = kk_status::perform;
+      }
+      break;
+    }
+    case kk_status::comp_next: {
+      const usize avail =
+          static_cast<usize>(std::popcount(static_cast<job_mask>(ps.free & ~ps.try_)));
+      if (avail >= cfg.beta && avail > 0) {
+        ps.next = choose_candidate(ps, cfg, p);
+        ps.q = 1;
+        ps.try_ = 0;
+        ps.status = kk_status::set_next;
+      } else if (cfg.mode == kk_mode::plain) {
+        ps.status = kk_status::end;
+      } else {
+        ps.status = kk_status::flag_raise;
+      }
+      break;
+    }
+    case kk_status::set_next: {
+      out.next_reg[p - 1] = ps.next;
+      ps.status = kk_status::gather_try;
+      break;
+    }
+    case kk_status::gather_try: {
+      if (ps.q != p) {
+        const std::uint8_t v = out.next_reg[ps.q - 1];
+        if (v != 0) ps.try_ |= bit_of(v);
+      }
+      if (static_cast<usize>(ps.q) + 1 <= cfg.m) {
+        ++ps.q;
+      } else {
+        ps.q = 1;
+        ps.status = kk_status::gather_done;
+      }
+      break;
+    }
+    case kk_status::gather_done: {
+      bool advance = true;
+      if (ps.q != p) {
+        const usize pos = ps.pos[ps.q - 1];
+        if (pos <= cfg.n) {
+          const std::uint8_t v =
+              pos <= out.row_len[ps.q - 1] ? out.rows[ps.q - 1][pos - 1] : 0;
+          if (v != 0) {
+            ps.done |= bit_of(v);
+            ps.free = static_cast<job_mask>(ps.free & ~bit_of(v));
+            ps.pos[ps.q - 1] = static_cast<std::uint8_t>(pos + 1);
+            advance = false;
+          }
+        }
+      }
+      if (advance) {
+        ++ps.q;
+        if (ps.q > cfg.m) {
+          ps.q = 1;
+          if (ps.finalizing) {
+            finish_output(ps, cfg);
+          } else {
+            ps.status = kk_status::check;
+          }
+        }
+      }
+      break;
+    }
+    case kk_status::check: {
+      const job_mask nb = bit_of(ps.next);
+      const bool conflict = (ps.try_ & nb) != 0 || (ps.done & nb) != 0;
+      if (conflict) {
+        ps.status = cfg.mode == kk_mode::plain ? kk_status::comp_next
+                                               : kk_status::flag_poll;
+      } else {
+        ps.status = cfg.mode == kk_mode::plain ? kk_status::perform
+                                               : kk_status::flag_gate;
+      }
+      break;
+    }
+    case kk_status::perform: {
+      const job_mask nb = bit_of(ps.next);
+      if ((out.performed & nb) != 0) out.duplicate = true;
+      out.performed |= nb;
+      ps.status = kk_status::record;
+      break;
+    }
+    case kk_status::record: {
+      const job_mask nb = bit_of(ps.next);
+      out.rows[p - 1][out.row_len[p - 1]] = ps.next;
+      ++out.row_len[p - 1];
+      ps.done |= nb;
+      ps.free = static_cast<job_mask>(ps.free & ~nb);
+      ps.status = cfg.mode == kk_mode::plain ? kk_status::comp_next
+                                             : kk_status::flag_poll;
+      break;
+    }
+    default:
+      assert(false && "end/stop are not steppable");
+  }
+  return out;
+}
+
+sys_state crash(const sys_state& s, [[maybe_unused]] const model_config& cfg,
+                process_id p) {
+  assert(runnable(s, cfg, p));
+  assert(s.crashes < cfg.crash_budget);
+  sys_state out = s;
+  out.procs[p - 1].status = kk_status::stop;
+  ++out.crashes;
+  return out;
+}
+
+usize jobs_performed(const sys_state& s) {
+  return static_cast<usize>(std::popcount(s.performed));
+}
+
+fingerprint fingerprint_of(const sys_state& s, const model_config& cfg) {
+  // Canonical encoding fed through splitmix64: shared registers, rows,
+  // per-process state, perform bookkeeping.
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    std::uint64_t st = h;
+    h = splitmix64(st);
+  };
+  std::uint64_t acc = 0;
+  int shift = 0;
+  auto put_byte = [&](std::uint8_t b) {
+    acc |= static_cast<std::uint64_t>(b) << shift;
+    shift += 8;
+    if (shift == 64) {
+      mix(acc);
+      acc = 0;
+      shift = 0;
+    }
+  };
+  for (usize p = 0; p < cfg.m; ++p) {
+    put_byte(s.next_reg[p]);
+    put_byte(s.row_len[p]);
+    for (usize i = 0; i < s.row_len[p]; ++i) put_byte(s.rows[p][i]);
+    const proc_state& ps = s.procs[p];
+    put_byte(static_cast<std::uint8_t>(ps.status));
+    put_byte(ps.next);
+    put_byte(ps.q);
+    put_byte(static_cast<std::uint8_t>((ps.finalizing ? 1 : 0) |
+                                       (ps.has_output ? 2 : 0)));
+    put_byte(static_cast<std::uint8_t>(ps.free & 0xff));
+    put_byte(static_cast<std::uint8_t>(ps.free >> 8));
+    put_byte(static_cast<std::uint8_t>(ps.done & 0xff));
+    put_byte(static_cast<std::uint8_t>(ps.done >> 8));
+    put_byte(static_cast<std::uint8_t>(ps.try_ & 0xff));
+    put_byte(static_cast<std::uint8_t>(ps.try_ >> 8));
+    put_byte(static_cast<std::uint8_t>(ps.output & 0xff));
+    put_byte(static_cast<std::uint8_t>(ps.output >> 8));
+    for (usize q = 0; q < cfg.m; ++q) put_byte(ps.pos[q]);
+  }
+  put_byte(static_cast<std::uint8_t>(s.performed & 0xff));
+  put_byte(static_cast<std::uint8_t>(s.performed >> 8));
+  put_byte(static_cast<std::uint8_t>((s.duplicate ? 1 : 0) | (s.flag ? 2 : 0)));
+  put_byte(s.crashes);
+  mix(acc + static_cast<std::uint64_t>(shift));
+
+  fingerprint f;
+  f.a = h;
+  std::uint64_t st = h ^ 0xdeadbeefcafef00dull;
+  f.b = splitmix64(st);
+  return f;
+}
+
+}  // namespace amo::model

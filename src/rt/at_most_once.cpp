@@ -1,0 +1,94 @@
+#include "rt/at_most_once.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace amo {
+
+run_report perform_at_most_once(const run_config& cfg,
+                                const std::function<void(job_id)>& job) {
+  rt::thread_run_options opt;
+  opt.n = cfg.num_jobs;
+  opt.m = cfg.num_threads;
+  opt.beta = cfg.beta;
+  // Per-thread buckets: each worker appends only to its own, so collection
+  // needs no locking; buckets are merged after the join.
+  std::vector<std::vector<job_id>> buckets(
+      cfg.collect_performed ? cfg.num_threads : 0);
+  const rt::thread_run_report raw = rt::run_kk_threads(
+      opt, [&job, &buckets, &cfg](process_id p, job_id j) {
+        if (cfg.collect_performed) buckets[p - 1].push_back(j);
+        if (job) job(j);
+      });
+
+  run_report out;
+  if (cfg.collect_performed) {
+    for (auto& b : buckets) {
+      out.performed.insert(out.performed.end(), b.begin(), b.end());
+    }
+    std::sort(out.performed.begin(), out.performed.end());
+  }
+  out.jobs_performed = raw.effectiveness;
+  out.jobs_unperformed = cfg.num_jobs - raw.effectiveness;
+  out.at_most_once = raw.at_most_once;
+  out.threads_finished = raw.terminated;
+  out.wall_seconds = raw.wall_seconds;
+  out.total_shared_ops = raw.total_work.shared_reads + raw.total_work.shared_writes;
+  return out;
+}
+
+run_report perform_at_most_once_iterative(
+    const run_config& cfg, unsigned eps_inv,
+    const std::function<void(job_id)>& job) {
+  rt::iter_thread_options opt;
+  opt.n = cfg.num_jobs;
+  opt.m = cfg.num_threads;
+  opt.eps_inv = eps_inv;
+  opt.write_all = false;
+  std::vector<std::vector<job_id>> buckets(
+      cfg.collect_performed ? cfg.num_threads : 0);
+  const rt::iter_thread_report raw = rt::run_iterative_threads(
+      opt, [&job, &buckets, &cfg](process_id p, job_id j) {
+        if (cfg.collect_performed) buckets[p - 1].push_back(j);
+        if (job) job(j);
+      });
+
+  run_report out;
+  if (cfg.collect_performed) {
+    for (auto& b : buckets) {
+      out.performed.insert(out.performed.end(), b.begin(), b.end());
+    }
+    std::sort(out.performed.begin(), out.performed.end());
+  }
+  out.jobs_performed = raw.effectiveness;
+  out.jobs_unperformed = cfg.num_jobs - raw.effectiveness;
+  out.at_most_once = raw.at_most_once;
+  out.threads_finished = raw.terminated;
+  out.wall_seconds = raw.wall_seconds;
+  out.total_shared_ops = raw.total_work.shared_reads + raw.total_work.shared_writes;
+  return out;
+}
+
+write_all_report write_all(const write_all_config& cfg,
+                           const std::function<void(job_id)>& slot) {
+  rt::iter_thread_options opt;
+  opt.n = cfg.num_slots;
+  opt.m = cfg.num_threads;
+  opt.eps_inv = cfg.eps_inv;
+  opt.write_all = true;
+  std::atomic<usize> invocations{0};
+  const rt::iter_thread_report raw = rt::run_iterative_threads(
+      opt, [&slot, &invocations](process_id, job_id j) {
+        invocations.fetch_add(1, std::memory_order_relaxed);
+        if (slot) slot(j);
+      });
+
+  write_all_report out;
+  out.complete = raw.wa_complete;
+  out.slots_written = raw.wa_written;
+  out.callback_invocations = invocations.load(std::memory_order_relaxed);
+  out.wall_seconds = raw.wall_seconds;
+  return out;
+}
+
+}  // namespace amo

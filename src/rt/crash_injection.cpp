@@ -1,0 +1,49 @@
+#include "rt/crash_injection.hpp"
+
+namespace amo::rt {
+
+crash_plan crash_plan::after_actions(std::vector<usize> per_thread) {
+  crash_plan plan;
+  plan.kind_ = kind::by_actions;
+  plan.per_thread_ = std::move(per_thread);
+  return plan;
+}
+
+crash_plan crash_plan::after_first_announce(usize k) {
+  crash_plan plan;
+  plan.kind_ = kind::by_announce;
+  plan.announce_crashers_ = k;
+  return plan;
+}
+
+bool crash_plan::should_crash(process_id pid, const automaton& a) const {
+  switch (kind_) {
+    case kind::none:
+      return false;
+    case kind::by_actions: {
+      if (pid > per_thread_.size()) return false;
+      const usize at = per_thread_[pid - 1];
+      return at != 0 && a.step_count() >= at;
+    }
+    case kind::by_announce:
+      return pid <= announce_crashers_ && a.announce_count() >= 1;
+  }
+  return false;
+}
+
+usize crash_plan::planned_crashes() const {
+  switch (kind_) {
+    case kind::none:
+      return 0;
+    case kind::by_actions: {
+      usize c = 0;
+      for (const usize at : per_thread_) c += at != 0 ? 1 : 0;
+      return c;
+    }
+    case kind::by_announce:
+      return announce_crashers_;
+  }
+  return 0;
+}
+
+}  // namespace amo::rt

@@ -1,0 +1,42 @@
+// Crash injection for the real-thread runtime: deterministic stop_p points
+// evaluated at action boundaries, mirroring what the simulation adversary
+// does between transitions. A crashed thread simply stops taking actions —
+// exactly the paper's crash model (no recovery, state frozen, its announced
+// job stays stuck in next_p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "util/types.hpp"
+
+namespace amo::rt {
+
+class crash_plan {
+ public:
+  /// No crashes.
+  crash_plan() = default;
+
+  /// Crash thread p after it has executed exactly per_thread[p-1] actions
+  /// (0 = never crash that thread).
+  static crash_plan after_actions(std::vector<usize> per_thread);
+
+  /// The Theorem 4.4 pattern: threads 1..k crash immediately after their
+  /// first announce (leaving k distinct jobs stuck in next registers).
+  static crash_plan after_first_announce(usize k);
+
+  /// True if thread `pid` should crash now given its observable progress.
+  [[nodiscard]] bool should_crash(process_id pid, const automaton& a) const;
+
+  /// Number of threads this plan will eventually crash.
+  [[nodiscard]] usize planned_crashes() const;
+
+ private:
+  enum class kind : std::uint8_t { none, by_actions, by_announce };
+  kind kind_ = kind::none;
+  std::vector<usize> per_thread_;  // by_actions
+  usize announce_crashers_ = 0;    // by_announce
+};
+
+}  // namespace amo::rt

@@ -1,0 +1,86 @@
+// The real-multicore runtime: m OS threads each drive one KK_beta (or
+// IterativeKK / WA_IterativeKK) automaton against the atomic_memory register
+// file. Each thread's loop is simply "while runnable: maybe crash; step()" —
+// asynchrony, preemption and cache effects supply the adversarial
+// interleaving, and seq_cst atomics supply the linearizable-register model
+// the proofs need (see mem/atomic_memory.hpp).
+//
+// This is the substrate behind the public amo::perform_at_most_once API and
+// behind throughput bench E9.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/iterative_kk.hpp"
+#include "core/kk_process.hpp"
+#include "core/wa_iterative_kk.hpp"
+#include "rt/crash_injection.hpp"
+
+namespace amo::rt {
+
+struct thread_run_options {
+  usize n = 0;
+  usize m = 1;
+  usize beta = 0;  ///< 0 = m
+  selection_rule rule = selection_rule::paper_rank;
+  crash_plan crashes;
+};
+
+struct thread_run_report {
+  usize n = 0;
+  usize m = 0;
+  usize beta = 0;
+
+  usize effectiveness = 0;   ///< distinct jobs performed
+  usize perform_events = 0;  ///< total do actions across threads
+  bool at_most_once = true;
+  job_id duplicate = no_job;
+
+  op_counter total_work;
+  std::vector<kk_stats> per_process;
+  usize crashed = 0;
+  usize terminated = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs plain KK_beta on m threads; job_fn(p, j) is invoked at the do_{p,j}
+/// action (at most once per j across all threads). job_fn must be
+/// thread-safe across distinct jobs.
+thread_run_report run_kk_threads(const thread_run_options& opt,
+                                 const std::function<void(process_id, job_id)>& job_fn);
+
+struct iter_thread_options {
+  usize n = 0;
+  usize m = 1;
+  unsigned eps_inv = 1;
+  bool write_all = false;
+  crash_plan crashes;
+};
+
+struct iter_thread_report {
+  usize n = 0;
+  usize m = 0;
+  unsigned eps_inv = 1;
+
+  usize effectiveness = 0;
+  usize perform_events = 0;
+  bool at_most_once = true;
+  job_id duplicate = no_job;
+
+  op_counter total_work;
+  usize crashed = 0;
+  usize terminated = 0;
+  bool wa_complete = false;
+  usize wa_written = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs IterativeKK(eps) (write_all=false) or WA_IterativeKK(eps)
+/// (write_all=true) on m threads. In write-all mode job_fn is also invoked
+/// for duplicate executions (by design); wa_complete reports coverage.
+iter_thread_report run_iterative_threads(
+    const iter_thread_options& opt,
+    const std::function<void(process_id, job_id)>& job_fn);
+
+}  // namespace amo::rt

@@ -1,0 +1,138 @@
+#include "sets/bitset_rank_set.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace amo {
+
+bitset_rank_set::bitset_rank_set(job_id universe)
+    : universe_(universe),
+      num_words_((static_cast<usize>(universe) + 63) / 64),
+      log_floor_(num_words_ == 0 ? 0 : ilog2(num_words_)),
+      bits_(num_words_, 0),
+      tree_(num_words_ + 1, 0) {}
+
+bitset_rank_set bitset_rank_set::full(job_id universe) {
+  bitset_rank_set s(universe);
+  for (usize w = 0; w < s.num_words_; ++w) s.bits_[w] = ~std::uint64_t{0};
+  // Mask off the bits beyond the universe in the last word.
+  const usize tail = static_cast<usize>(universe) % 64;
+  if (tail != 0) s.bits_[s.num_words_ - 1] = (std::uint64_t{1} << tail) - 1;
+  s.count_ = universe;
+  s.rebuild_fenwick();
+  return s;
+}
+
+bitset_rank_set::bitset_rank_set(job_id universe,
+                                 std::span<const job_id> sorted_members)
+    : bitset_rank_set(universe) {
+  for (const job_id x : sorted_members) {
+    assert(x >= 1 && x <= universe);
+    bits_[(x - 1) / 64] |= std::uint64_t{1} << ((x - 1) % 64);
+  }
+  count_ = sorted_members.size();
+  rebuild_fenwick();
+}
+
+void bitset_rank_set::rebuild_fenwick() {
+  for (usize i = 1; i <= num_words_; ++i) tree_[i] = 0;
+  for (usize i = 1; i <= num_words_; ++i) {
+    tree_[i] += static_cast<std::uint32_t>(std::popcount(bits_[i - 1]));
+    const usize parent = i + (i & (~i + 1));
+    if (parent <= num_words_) tree_[parent] += tree_[i];
+  }
+}
+
+bool bitset_rank_set::contains(job_id x) const {
+  charge();
+  if (x < 1 || x > universe_) return false;
+  return (bits_[(x - 1) / 64] >> ((x - 1) % 64)) & 1u;
+}
+
+void bitset_rank_set::fenwick_add(usize word_idx, std::int32_t delta) {
+  for (usize i = word_idx + 1; i <= num_words_; i += i & (~i + 1)) {
+    charge();
+    tree_[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(tree_[i]) + delta);
+  }
+}
+
+bool bitset_rank_set::insert(job_id x) {
+  assert(x >= 1 && x <= universe_);
+  const usize w = (x - 1) / 64;
+  const std::uint64_t mask = std::uint64_t{1} << ((x - 1) % 64);
+  if ((bits_[w] & mask) != 0) return false;
+  bits_[w] |= mask;
+  fenwick_add(w, +1);
+  ++count_;
+  return true;
+}
+
+bool bitset_rank_set::erase(job_id x) {
+  if (x < 1 || x > universe_) return false;
+  const usize w = (x - 1) / 64;
+  const std::uint64_t mask = std::uint64_t{1} << ((x - 1) % 64);
+  if ((bits_[w] & mask) == 0) return false;
+  bits_[w] &= ~mask;
+  fenwick_add(w, -1);
+  --count_;
+  return true;
+}
+
+job_id bitset_rank_set::select(usize k) const {
+  assert(k >= 1 && k <= count_);
+  // Descend the Fenwick tree to the word containing the k-th element.
+  usize pos = 0;
+  usize rem = k;
+  for (std::uint32_t level = log_floor_; ; --level) {
+    charge();
+    const usize next = pos + (usize{1} << level);
+    if (next <= num_words_ && tree_[next] < rem) {
+      rem -= tree_[next];
+      pos = next;
+    }
+    if (level == 0) break;
+  }
+  // pos is now the 0-based word index; find the rem-th set bit inside it.
+  std::uint64_t word = bits_[pos];
+  for (usize i = 1; i < rem; ++i) {
+    charge();
+    word &= word - 1;  // clear lowest set bit
+  }
+  const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+  return static_cast<job_id>(pos * 64 + bit + 1);
+}
+
+usize bitset_rank_set::rank_le(job_id x) const {
+  if (x == 0) return 0;
+  if (x > universe_) x = universe_;
+  const usize w = (x - 1) / 64;
+  usize r = 0;
+  for (usize i = w; i > 0; i -= i & (~i + 1)) {
+    charge();
+    r += tree_[i];
+  }
+  const usize bit = (x - 1) % 64;
+  const std::uint64_t mask =
+      bit == 63 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (bit + 1)) - 1);
+  charge();
+  r += static_cast<usize>(std::popcount(bits_[w] & mask));
+  return r;
+}
+
+std::vector<job_id> bitset_rank_set::to_vector() const {
+  std::vector<job_id> out;
+  out.reserve(count_);
+  for (usize w = 0; w < num_words_; ++w) {
+    std::uint64_t word = bits_[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      out.push_back(static_cast<job_id>(w * 64 + bit + 1));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace amo

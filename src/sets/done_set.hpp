@@ -1,0 +1,75 @@
+// DONE_p — process p's estimate of the jobs already performed (Fig. 1).
+//
+// The algorithm only ever *inserts* into DONE and queries membership
+// (`check` tests NEXT_p ∈ DONE_p); order statistics are never needed, so a
+// bitmap plus a counter is the exact right structure: O(1) per operation,
+// one bit per universe element. (The paper uses a tree for uniformity; its
+// work bounds only require membership/insert in O(log n), which O(1)
+// satisfies.)
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class done_set {
+ public:
+  explicit done_set(job_id universe)
+      : universe_(universe), bits_((static_cast<usize>(universe) + 63) / 64, 0) {}
+
+  void set_counter(op_counter* oc) { oc_ = oc; }
+
+  [[nodiscard]] job_id universe() const { return universe_; }
+  [[nodiscard]] usize size() const { return count_; }
+
+  [[nodiscard]] bool contains(job_id x) const {
+    charge();
+    if (x < 1 || x > universe_) return false;
+    return (bits_[(x - 1) / 64] >> ((x - 1) % 64)) & 1u;
+  }
+
+  /// Inserts x; returns true if newly inserted. Idempotent: the WA variant
+  /// may legitimately observe the same super-job recorded by several rows.
+  bool insert(job_id x) {
+    assert(x >= 1 && x <= universe_);
+    charge();
+    const usize w = (x - 1) / 64;
+    const std::uint64_t mask = std::uint64_t{1} << ((x - 1) % 64);
+    if ((bits_[w] & mask) != 0) return false;
+    bits_[w] |= mask;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] std::vector<job_id> to_vector() const {
+    std::vector<job_id> out;
+    out.reserve(count_);
+    for (usize w = 0; w < bits_.size(); ++w) {
+      std::uint64_t word = bits_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        out.push_back(static_cast<job_id>(w * 64 + static_cast<usize>(bit) + 1));
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void charge() const {
+    if (oc_ != nullptr) ++oc_->local_ops;
+  }
+
+  job_id universe_;
+  usize count_ = 0;
+  std::vector<std::uint64_t> bits_;
+  op_counter* oc_ = nullptr;
+};
+
+}  // namespace amo

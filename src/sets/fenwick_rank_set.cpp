@@ -1,0 +1,106 @@
+#include "sets/fenwick_rank_set.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace amo {
+
+fenwick_rank_set::fenwick_rank_set(job_id universe)
+    : universe_(universe),
+      log_floor_(universe == 0 ? 0 : ilog2(universe)),
+      tree_(static_cast<usize>(universe) + 1, 0),
+      present_(static_cast<usize>(universe) + 1, 0) {}
+
+fenwick_rank_set fenwick_rank_set::full(job_id universe) {
+  fenwick_rank_set s(universe);
+  // O(U) bulk build: tree_[i] = number of elements in i's Fenwick range.
+  for (job_id i = 1; i <= universe; ++i) {
+    s.present_[i] = 1;
+    s.tree_[i] += 1;
+    const job_id parent = i + (i & (~i + 1));
+    if (parent <= universe) s.tree_[parent] += s.tree_[i];
+  }
+  s.count_ = universe;
+  return s;
+}
+
+fenwick_rank_set::fenwick_rank_set(job_id universe,
+                                   std::span<const job_id> sorted_members)
+    : fenwick_rank_set(universe) {
+  for (const job_id x : sorted_members) {
+    assert(x >= 1 && x <= universe);
+    present_[x] = 1;
+    tree_[x] += 1;
+  }
+  for (job_id i = 1; i <= universe; ++i) {
+    const job_id parent = i + (i & (~i + 1));
+    if (parent <= universe) tree_[parent] += tree_[i];
+  }
+  count_ = sorted_members.size();
+}
+
+bool fenwick_rank_set::contains(job_id x) const {
+  charge();
+  return x >= 1 && x <= universe_ && present_[x] != 0;
+}
+
+void fenwick_rank_set::add(job_id idx, std::int32_t delta) {
+  for (job_id i = idx; i <= universe_; i += i & (~i + 1)) {
+    charge();
+    tree_[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(tree_[i]) + delta);
+  }
+}
+
+bool fenwick_rank_set::insert(job_id x) {
+  assert(x >= 1 && x <= universe_);
+  if (present_[x] != 0) return false;
+  present_[x] = 1;
+  add(x, +1);
+  ++count_;
+  return true;
+}
+
+bool fenwick_rank_set::erase(job_id x) {
+  if (x < 1 || x > universe_ || present_[x] == 0) return false;
+  present_[x] = 0;
+  add(x, -1);
+  --count_;
+  return true;
+}
+
+job_id fenwick_rank_set::select(usize k) const {
+  assert(k >= 1 && k <= count_);
+  job_id pos = 0;
+  usize rem = k;
+  for (std::uint32_t level = log_floor_; ; --level) {
+    charge();
+    const job_id next = pos + (job_id{1} << level);
+    if (next <= universe_ && tree_[next] < rem) {
+      rem -= tree_[next];
+      pos = next;
+    }
+    if (level == 0) break;
+  }
+  return pos + 1;
+}
+
+usize fenwick_rank_set::rank_le(job_id x) const {
+  if (x > universe_) x = universe_;
+  usize r = 0;
+  for (job_id i = x; i > 0; i -= i & (~i + 1)) {
+    charge();
+    r += tree_[i];
+  }
+  return r;
+}
+
+std::vector<job_id> fenwick_rank_set::to_vector() const {
+  std::vector<job_id> out;
+  out.reserve(count_);
+  for (job_id i = 1; i <= universe_; ++i)
+    if (present_[i] != 0) out.push_back(i);
+  return out;
+}
+
+}  // namespace amo

@@ -1,0 +1,51 @@
+// Order-statistic set over a fixed universe [1..U] backed by a Fenwick
+// (binary-indexed) tree of element counts plus a presence bitmap.
+//
+// Same O(log U) contract as `ostree` but with flat arrays: no rebalancing,
+// branch-light select via binary descent. Used as an alternative FREE-set
+// representation; the ablation bench E10 compares the three.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class fenwick_rank_set {
+ public:
+  explicit fenwick_rank_set(job_id universe);
+  static fenwick_rank_set full(job_id universe);
+  fenwick_rank_set(job_id universe, std::span<const job_id> sorted_members);
+
+  void set_counter(op_counter* oc) { oc_ = oc; }
+
+  [[nodiscard]] job_id universe() const { return universe_; }
+  [[nodiscard]] usize size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] bool contains(job_id x) const;
+  bool insert(job_id x);
+  bool erase(job_id x);
+  [[nodiscard]] job_id select(usize k) const;
+  [[nodiscard]] usize rank_le(job_id x) const;
+  [[nodiscard]] std::vector<job_id> to_vector() const;
+
+ private:
+  void charge() const {
+    if (oc_ != nullptr) ++oc_->local_ops;
+  }
+  void add(job_id idx, std::int32_t delta);
+
+  job_id universe_;
+  usize count_ = 0;
+  std::uint32_t log_floor_;             // floor(log2(universe)), for select descent
+  std::vector<std::uint32_t> tree_;     // 1-based Fenwick array, size U+1
+  std::vector<std::uint8_t> present_;   // presence bitmap, 1-based
+  op_counter* oc_ = nullptr;
+};
+
+}  // namespace amo

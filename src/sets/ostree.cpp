@@ -1,0 +1,267 @@
+#include "sets/ostree.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace amo {
+
+namespace {
+// Weight-balanced parameters <Delta=3, Gamma=2>: subtree weights (size+1)
+// must satisfy weight(sibling) <= Delta * weight(other). Proven to preserve
+// balance under single insert/erase (Hirai & Yamamoto).
+constexpr std::uint64_t kDelta = 3;
+constexpr std::uint64_t kGamma = 2;
+}  // namespace
+
+ostree::ostree(job_id universe) : universe_(universe) {}
+
+ostree ostree::full(job_id universe) {
+  std::vector<job_id> all(universe);
+  std::iota(all.begin(), all.end(), job_id{1});
+  return ostree(universe, all);
+}
+
+ostree::ostree(job_id universe, std::span<const job_id> sorted_members)
+    : universe_(universe) {
+  pool_.reserve(sorted_members.size());
+  root_ = build_balanced(sorted_members);
+  count_ = sorted_members.size();
+}
+
+std::uint32_t ostree::build_balanced(std::span<const job_id> sorted) {
+  if (sorted.empty()) return nil;
+  const usize mid = sorted.size() / 2;
+  const std::uint32_t t = make_node(sorted[mid]);
+  // Children must be built after make_node may reallocate the pool, so
+  // assign through the index each time.
+  const std::uint32_t l = build_balanced(sorted.subspan(0, mid));
+  const std::uint32_t r = build_balanced(sorted.subspan(mid + 1));
+  pool_[t].left = l;
+  pool_[t].right = r;
+  pull(t);
+  return t;
+}
+
+std::uint32_t ostree::make_node(job_id key) {
+  if (free_head_ != nil) {
+    const std::uint32_t t = free_head_;
+    free_head_ = pool_[t].left;
+    pool_[t] = node{key, nil, nil, 1};
+    return t;
+  }
+  pool_.push_back(node{key, nil, nil, 1});
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void ostree::recycle(std::uint32_t t) {
+  pool_[t].left = free_head_;
+  free_head_ = t;
+}
+
+bool ostree::contains(job_id x) const {
+  std::uint32_t t = root_;
+  while (t != nil) {
+    charge();
+    if (x == pool_[t].key) return true;
+    t = x < pool_[t].key ? pool_[t].left : pool_[t].right;
+  }
+  return false;
+}
+
+std::uint32_t ostree::rotate_left(std::uint32_t t) {
+  const std::uint32_t r = pool_[t].right;
+  pool_[t].right = pool_[r].left;
+  pool_[r].left = t;
+  pull(t);
+  pull(r);
+  return r;
+}
+
+std::uint32_t ostree::rotate_right(std::uint32_t t) {
+  const std::uint32_t l = pool_[t].left;
+  pool_[t].left = pool_[l].right;
+  pool_[l].right = t;
+  pull(t);
+  pull(l);
+  return l;
+}
+
+std::uint32_t ostree::rebalance(std::uint32_t t) {
+  const std::uint64_t wl = subtree_size(pool_[t].left) + 1;
+  const std::uint64_t wr = subtree_size(pool_[t].right) + 1;
+  if (wr > kDelta * wl) {
+    const std::uint32_t r = pool_[t].right;
+    const std::uint64_t wrl = subtree_size(pool_[r].left) + 1;
+    const std::uint64_t wrr = subtree_size(pool_[r].right) + 1;
+    if (wrl >= kGamma * wrr) pool_[t].right = rotate_right(r);
+    return rotate_left(t);
+  }
+  if (wl > kDelta * wr) {
+    const std::uint32_t l = pool_[t].left;
+    const std::uint64_t wll = subtree_size(pool_[l].left) + 1;
+    const std::uint64_t wlr = subtree_size(pool_[l].right) + 1;
+    if (wlr >= kGamma * wll) pool_[t].left = rotate_left(l);
+    return rotate_right(t);
+  }
+  return t;
+}
+
+std::uint32_t ostree::insert_rec(std::uint32_t t, job_id x, bool& inserted) {
+  if (t == nil) {
+    inserted = true;
+    return make_node(x);
+  }
+  charge();
+  if (x == pool_[t].key) {
+    inserted = false;
+    return t;
+  }
+  if (x < pool_[t].key) {
+    pool_[t].left = insert_rec(pool_[t].left, x, inserted);
+  } else {
+    pool_[t].right = insert_rec(pool_[t].right, x, inserted);
+  }
+  if (!inserted) return t;
+  pull(t);
+  return rebalance(t);
+}
+
+bool ostree::insert(job_id x) {
+  assert(x >= 1 && x <= universe_);
+  bool inserted = false;
+  root_ = insert_rec(root_, x, inserted);
+  if (inserted) ++count_;
+  return inserted;
+}
+
+std::uint32_t ostree::erase_min_rec(std::uint32_t t, std::uint32_t& detached) {
+  charge();
+  if (pool_[t].left == nil) {
+    detached = t;
+    return pool_[t].right;
+  }
+  pool_[t].left = erase_min_rec(pool_[t].left, detached);
+  pull(t);
+  return rebalance(t);
+}
+
+std::uint32_t ostree::erase_rec(std::uint32_t t, job_id x, bool& erased) {
+  if (t == nil) {
+    erased = false;
+    return nil;
+  }
+  charge();
+  if (x == pool_[t].key) {
+    erased = true;
+    const std::uint32_t l = pool_[t].left;
+    const std::uint32_t r = pool_[t].right;
+    recycle(t);
+    if (r == nil) return l;
+    if (l == nil) return r;
+    std::uint32_t succ = nil;
+    const std::uint32_t rest = erase_min_rec(r, succ);
+    pool_[succ].left = l;
+    pool_[succ].right = rest;
+    pull(succ);
+    return rebalance(succ);
+  }
+  if (x < pool_[t].key) {
+    pool_[t].left = erase_rec(pool_[t].left, x, erased);
+  } else {
+    pool_[t].right = erase_rec(pool_[t].right, x, erased);
+  }
+  if (!erased) return t;
+  pull(t);
+  return rebalance(t);
+}
+
+bool ostree::erase(job_id x) {
+  bool erased = false;
+  root_ = erase_rec(root_, x, erased);
+  if (erased) --count_;
+  return erased;
+}
+
+job_id ostree::select(usize k) const {
+  assert(k >= 1 && k <= count_);
+  std::uint32_t t = root_;
+  while (true) {
+    charge();
+    const usize left_size = subtree_size(pool_[t].left);
+    if (k == left_size + 1) return pool_[t].key;
+    if (k <= left_size) {
+      t = pool_[t].left;
+    } else {
+      k -= left_size + 1;
+      t = pool_[t].right;
+    }
+  }
+}
+
+usize ostree::rank_le(job_id x) const {
+  usize r = 0;
+  std::uint32_t t = root_;
+  while (t != nil) {
+    charge();
+    if (x < pool_[t].key) {
+      t = pool_[t].left;
+    } else {
+      r += subtree_size(pool_[t].left) + 1;
+      t = pool_[t].right;
+    }
+  }
+  return r;
+}
+
+std::vector<job_id> ostree::to_vector() const {
+  std::vector<job_id> out;
+  out.reserve(count_);
+  // Iterative in-order walk (explicit stack; recursion depth is O(log n)
+  // anyway but this keeps the hot path allocation-free after reserve).
+  std::vector<std::uint32_t> stack;
+  std::uint32_t t = root_;
+  while (t != nil || !stack.empty()) {
+    while (t != nil) {
+      stack.push_back(t);
+      t = pool_[t].left;
+    }
+    t = stack.back();
+    stack.pop_back();
+    out.push_back(pool_[t].key);
+    t = pool_[t].right;
+  }
+  return out;
+}
+
+bool ostree::check_rec(std::uint32_t t, job_id lo, job_id hi, bool& ok) const {
+  if (t == nil || !ok) return ok;
+  const node& nd = pool_[t];
+  if (nd.key < lo || nd.key > hi) {
+    ok = false;
+    return ok;
+  }
+  const std::uint64_t wl = subtree_size(nd.left) + 1;
+  const std::uint64_t wr = subtree_size(nd.right) + 1;
+  if (wl > kDelta * wr || wr > kDelta * wl) {
+    ok = false;
+    return ok;
+  }
+  if (nd.size != 1 + subtree_size(nd.left) + subtree_size(nd.right)) {
+    ok = false;
+    return ok;
+  }
+  if (nd.key > 1) check_rec(nd.left, lo, nd.key - 1, ok);
+  else if (nd.left != nil) ok = false;
+  check_rec(nd.right, nd.key + 1, hi, ok);
+  return ok;
+}
+
+bool ostree::check_invariants() const {
+  if (root_ == nil) return count_ == 0;
+  if (subtree_size(root_) != count_) return false;
+  bool ok = true;
+  check_rec(root_, 1, universe_, ok);
+  return ok;
+}
+
+}  // namespace amo

@@ -1,0 +1,107 @@
+// Order-statistic weight-balanced tree.
+//
+// The paper stores FREE/DONE/TRY "in some tree structure like red-black tree
+// or some variant of B-tree" so that insert, erase, search and rank-select
+// all cost O(log n) (Section 3). This is that structure: a weight-balanced
+// binary search tree (Nievergelt–Reingold, with the <Delta=3, Gamma=2>
+// rational parameters proven valid by Hirai & Yamamoto, JFP 2011) augmented
+// with subtree sizes for select/rank. Worst-case O(log n) per operation.
+//
+// Nodes live in a pooled vector (index links, free list) — no per-node
+// allocation, good locality, trivially movable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class ostree {
+ public:
+  /// Empty set over universe [1..universe].
+  explicit ostree(job_id universe);
+
+  /// Full set {1..universe}.
+  static ostree full(job_id universe);
+
+  /// Set containing exactly `sorted_members` (strictly ascending, within
+  /// [1..universe]); built balanced in O(|members|).
+  ostree(job_id universe, std::span<const job_id> sorted_members);
+
+  /// Attach a work counter; every visited node charges one local op.
+  void set_counter(op_counter* oc) { oc_ = oc; }
+
+  [[nodiscard]] job_id universe() const { return universe_; }
+  [[nodiscard]] usize size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] bool contains(job_id x) const;
+
+  /// Inserts x; no-op if already present. Returns true if newly inserted.
+  bool insert(job_id x);
+
+  /// Erases x; no-op if absent. Returns true if removed.
+  bool erase(job_id x);
+
+  /// k-th smallest element, 1-based; requires 1 <= k <= size().
+  [[nodiscard]] job_id select(usize k) const;
+
+  /// Number of elements <= x.
+  [[nodiscard]] usize rank_le(job_id x) const;
+
+  /// All elements in ascending order.
+  [[nodiscard]] std::vector<job_id> to_vector() const;
+
+  /// Internal invariant check (used by tests): BST order, size fields,
+  /// weight-balance at every node.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  static constexpr std::uint32_t nil = 0xffffffffu;
+
+  struct node {
+    job_id key;
+    std::uint32_t left;
+    std::uint32_t right;
+    std::uint32_t size;  // subtree node count
+  };
+
+  void charge() const {
+    if (oc_ != nullptr) ++oc_->local_ops;
+  }
+
+  [[nodiscard]] std::uint32_t subtree_size(std::uint32_t t) const {
+    return t == nil ? 0 : pool_[t].size;
+  }
+  void pull(std::uint32_t t) {
+    pool_[t].size = 1 + subtree_size(pool_[t].left) + subtree_size(pool_[t].right);
+  }
+
+  std::uint32_t make_node(job_id key);
+  void recycle(std::uint32_t t);
+
+  std::uint32_t rotate_left(std::uint32_t t);
+  std::uint32_t rotate_right(std::uint32_t t);
+  std::uint32_t rebalance(std::uint32_t t);
+
+  std::uint32_t insert_rec(std::uint32_t t, job_id x, bool& inserted);
+  std::uint32_t erase_rec(std::uint32_t t, job_id x, bool& erased);
+  std::uint32_t erase_min_rec(std::uint32_t t, std::uint32_t& detached);
+
+  std::uint32_t build_balanced(std::span<const job_id> sorted);
+
+  bool check_rec(std::uint32_t t, job_id lo, job_id hi, bool& ok) const;
+
+  job_id universe_;
+  usize count_ = 0;
+  std::uint32_t root_ = nil;
+  std::uint32_t free_head_ = nil;  // free list threaded through `left`
+  std::vector<node> pool_;
+  op_counter* oc_ = nullptr;
+};
+
+}  // namespace amo

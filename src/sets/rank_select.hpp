@@ -1,0 +1,81 @@
+// The paper's rank(SET1, SET2, i) operator (Section 3): "returns the element
+// of set SET1 \ SET2 that has rank i". With SET1 an order-statistic set and
+// SET2 the (< m)-element TRY set, the cost is O(|SET2| log n), exactly as
+// charged in the work analysis.
+//
+// Algorithm: monotone fixed-point iteration. Let c(x) = |{y in SET2 ∩ SET1 :
+// y <= x}|. We look for the smallest index idx with idx = i + c(select(idx));
+// at that point x = select(idx) satisfies |{y in SET1\SET2 : y <= x}| = i and
+// x itself is not excluded (a first fixed point on an excluded element is
+// impossible: it would imply an earlier fixed point, contradiction — see the
+// convergence argument in tests/test_rank_select.cpp, which cross-checks
+// against a brute-force oracle). Each step can only grow idx by newly
+// discovered exclusions, so there are at most |SET2|+1 iterations.
+#pragma once
+
+#include <cassert>
+#include <concepts>
+
+#include "sets/try_set.hpp"
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+/// The shape shared by ostree / fenwick_rank_set / bitset_rank_set.
+template <class S>
+concept rank_set = requires(S s, const S cs, job_id x, usize k, op_counter* oc) {
+  { cs.contains(x) } -> std::convertible_to<bool>;
+  { cs.size() } -> std::convertible_to<usize>;
+  { cs.select(k) } -> std::convertible_to<job_id>;
+  { cs.rank_le(x) } -> std::convertible_to<usize>;
+  { s.insert(x) } -> std::convertible_to<bool>;
+  { s.erase(x) } -> std::convertible_to<bool>;
+  { cs.universe() } -> std::convertible_to<job_id>;
+  s.set_counter(oc);
+};
+
+/// |{y in excluded ∩ included : y <= x}|. O(|excluded|).
+template <rank_set S>
+usize excluded_at_or_below(const S& included, const try_set& excluded, job_id x,
+                           op_counter* oc) {
+  usize c = 0;
+  for (const auto& e : excluded.entries()) {
+    if (e.job > x) break;
+    if (oc != nullptr) ++oc->local_ops;
+    if (included.contains(e.job)) ++c;
+  }
+  return c;
+}
+
+/// Number of elements in set1 \ set2.
+template <rank_set S>
+usize size_excluding(const S& set1, const try_set& set2, op_counter* oc = nullptr) {
+  usize overlap = 0;
+  for (const auto& e : set2.entries()) {
+    if (oc != nullptr) ++oc->local_ops;
+    if (set1.contains(e.job)) ++overlap;
+  }
+  return set1.size() - overlap;
+}
+
+/// The element of set1 \ set2 with 1-based rank i.
+/// Precondition: 1 <= i <= |set1 \ set2|.
+template <rank_set S>
+job_id rank_excluding(const S& set1, const try_set& set2, usize i,
+                      op_counter* oc = nullptr) {
+  assert(i >= 1);
+  assert(i <= size_excluding(set1, set2, nullptr));
+  usize idx = i;
+  while (true) {
+    const job_id x = set1.select(idx);
+    const usize next = i + excluded_at_or_below(set1, set2, x, oc);
+    if (next == idx) {
+      assert(!set2.contains(x));
+      return x;
+    }
+    idx = next;
+  }
+}
+
+}  // namespace amo

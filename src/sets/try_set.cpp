@@ -1,0 +1,46 @@
+#include "sets/try_set.hpp"
+
+#include "util/math.hpp"
+
+namespace amo {
+
+usize try_set::lower_bound(job_id j) const {
+  usize lo = 0;
+  usize hi = entries_.size();
+  while (lo < hi) {
+    const usize mid = lo + (hi - lo) / 2;
+    if (entries_[mid].job < j) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool try_set::insert(job_id j, process_id announcer) {
+  const usize pos = lower_bound(j);
+  charge(clamped_log2(entries_.size() + 1));
+  if (pos < entries_.size() && entries_[pos].job == j) {
+    entries_[pos].announcer = announcer;
+    return false;
+  }
+  charge(entries_.size() - pos + 1);  // shift cost of the vector insert
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  entry{j, announcer});
+  return true;
+}
+
+bool try_set::contains(job_id j) const {
+  charge(clamped_log2(entries_.size() + 1));
+  const usize pos = lower_bound(j);
+  return pos < entries_.size() && entries_[pos].job == j;
+}
+
+process_id try_set::announcer_of(job_id j) const {
+  const usize pos = lower_bound(j);
+  if (pos < entries_.size() && entries_[pos].job == j) return entries_[pos].announcer;
+  return 0;
+}
+
+}  // namespace amo

@@ -1,0 +1,62 @@
+// TRY_p — the set of jobs process p believes other processes are about to
+// perform (Fig. 1). The paper proves |TRY_p| < m at all times, so a small
+// sorted vector gives O(log m) search and O(m) insert, well inside the
+// O(log n) per-operation budget the work analysis charges.
+//
+// Each entry also records *which* process announced the job (the value was
+// read from next_q). The announcer plays no role in the algorithm itself —
+// membership alone drives `check` — but it lets the analysis layer attribute
+// collisions to process pairs, which is how bench E5 validates the pairwise
+// collision bound of Lemma 5.5.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo {
+
+class try_set {
+ public:
+  struct entry {
+    job_id job;
+    process_id announcer;
+  };
+
+  try_set() = default;
+
+  void set_counter(op_counter* oc) { oc_ = oc; }
+
+  /// Resets to empty (compNext does this on every invocation).
+  void clear() { entries_.clear(); }
+
+  /// Inserts (job, announcer); if the job is already present the announcer
+  /// is refreshed to the most recent reader observation. Returns true if the
+  /// job was new.
+  bool insert(job_id j, process_id announcer);
+
+  [[nodiscard]] bool contains(job_id j) const;
+
+  /// Announcer recorded for job j, or 0 if j is absent.
+  [[nodiscard]] process_id announcer_of(job_id j) const;
+
+  [[nodiscard]] usize size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Entries sorted ascending by job id.
+  [[nodiscard]] std::span<const entry> entries() const { return entries_; }
+
+ private:
+  void charge(usize units) const {
+    if (oc_ != nullptr) oc_->local_ops += units;
+  }
+  /// Index of first entry with job >= j.
+  [[nodiscard]] usize lower_bound(job_id j) const;
+
+  std::vector<entry> entries_;
+  op_counter* oc_ = nullptr;
+};
+
+}  // namespace amo

@@ -1,0 +1,123 @@
+#include "sim/harness.hpp"
+
+#include <memory>
+
+#include "core/wa_iterative_kk.hpp"
+#include "sets/fenwick_rank_set.hpp"
+#include "sets/ostree.hpp"
+
+namespace amo::sim {
+
+template <rank_set FS>
+kk_sim_report run_kk(const kk_sim_options& opt, adversary& adv) {
+  kk_sim_report report;
+  report.n = opt.n;
+  report.m = opt.m;
+  report.beta = opt.beta == 0 ? opt.m : opt.beta;
+  report.crash_budget = opt.crash_budget;
+
+  sim_memory mem(opt.m, opt.n);
+  amo_checker checker(opt.n);
+  collision_ledger ledger(opt.m, opt.n);
+
+  std::vector<std::unique_ptr<kk_process<sim_memory, FS>>> procs;
+  procs.reserve(opt.m);
+  std::vector<automaton*> handles;
+  handles.reserve(opt.m);
+  for (process_id pid = 1; pid <= opt.m; ++pid) {
+    kk_config cfg;
+    cfg.pid = pid;
+    cfg.num_processes = opt.m;
+    cfg.beta = opt.beta;
+    cfg.mode = kk_mode::plain;
+    cfg.rule = opt.rule;
+    kk_hooks hooks;
+    hooks.on_perform = [&checker](process_id p, job_id j) { checker.record(p, j); };
+    hooks.on_collision = [&ledger, &checker](process_id p, job_id j,
+                                             process_id announcer, bool via_done) {
+      ledger.record(p, j, announcer, via_done, checker);
+    };
+    procs.push_back(std::make_unique<kk_process<sim_memory, FS>>(
+        mem, cfg, nullptr, std::move(hooks)));
+    handles.push_back(procs.back().get());
+  }
+
+  scheduler sched(handles);
+  const usize limit =
+      opt.max_steps == 0 ? default_step_limit(opt.n, opt.m) : opt.max_steps;
+  report.sched = sched.run(adv, opt.crash_budget, limit);
+
+  report.effectiveness = checker.distinct();
+  report.perform_events = checker.total_events();
+  report.at_most_once = checker.ok();
+  report.duplicate = checker.first_duplicate();
+  for (const auto& p : procs) {
+    report.per_process.push_back(p->stats());
+    report.total_work += p->stats().work;
+    report.total_collisions +=
+        p->stats().collisions_try + p->stats().collisions_done;
+    if (p->status() == kk_status::end) ++report.terminated;
+  }
+  report.worst_pair_ratio = ledger.worst_pair_ratio();
+  return report;
+}
+
+template kk_sim_report run_kk<bitset_rank_set>(const kk_sim_options&, adversary&);
+template kk_sim_report run_kk<fenwick_rank_set>(const kk_sim_options&, adversary&);
+template kk_sim_report run_kk<ostree>(const kk_sim_options&, adversary&);
+
+iter_sim_report run_iterative(const iter_sim_options& opt, adversary& adv) {
+  iter_sim_report report;
+  report.n = opt.n;
+  report.m = opt.m;
+  report.eps_inv = opt.eps_inv;
+
+  iterative_shared<sim_memory> shared(
+      make_iterative_plan(opt.n, opt.m, opt.eps_inv));
+  report.num_levels = shared.plan.levels.size();
+
+  amo_checker checker(opt.n);
+  write_all_array wa(opt.write_all ? opt.n : 1);
+
+  std::vector<std::unique_ptr<iterative_process<sim_memory>>> procs;
+  procs.reserve(opt.m);
+  std::vector<automaton*> handles;
+  handles.reserve(opt.m);
+  for (process_id pid = 1; pid <= opt.m; ++pid) {
+    iterative_process<sim_memory>::perform_fn fn;
+    if (opt.write_all) {
+      fn = [&wa](job_id j) { wa.set(j); };
+    } else {
+      fn = [&checker, pid](job_id j) { checker.record(pid, j); };
+    }
+    procs.push_back(std::make_unique<iterative_process<sim_memory>>(
+        shared, pid, opt.write_all, std::move(fn)));
+    handles.push_back(procs.back().get());
+  }
+
+  scheduler sched(handles);
+  // The iterated algorithm runs 3 + 1/eps levels; scale the default limit.
+  const usize limit = opt.max_steps == 0
+                          ? default_step_limit(opt.n, opt.m) *
+                                (shared.plan.levels.size() + 1)
+                          : opt.max_steps;
+  report.sched = sched.run(adv, opt.crash_budget, limit);
+
+  report.effectiveness = checker.distinct();
+  report.perform_events = checker.total_events();
+  report.at_most_once = checker.ok();
+  report.duplicate = checker.first_duplicate();
+  for (const auto& p : procs) {
+    report.total_work += p->stats().work;
+    report.total_collisions += p->stats().collisions;
+    if (p->finished()) ++report.terminated;
+  }
+  if (opt.write_all) {
+    report.wa_written = wa.count_set();
+    report.wa_complete = wa.complete();
+    report.effectiveness = report.wa_written;
+  }
+  return report;
+}
+
+}  // namespace amo::sim

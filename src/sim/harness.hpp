@@ -1,0 +1,87 @@
+// One-call simulation harnesses: build the register file, the processes,
+// the verification hooks and the scheduler; run to quiescence under a given
+// adversary; return a report with everything tests and benches need.
+//
+// These functions are the workhorses behind experiments E1-E8 (DESIGN.md
+// Section 5).
+#pragma once
+
+#include <vector>
+
+#include "analysis/amo_checker.hpp"
+#include "analysis/collision_ledger.hpp"
+#include "core/iterative_kk.hpp"
+#include "core/kk_process.hpp"
+#include "mem/sim_memory.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
+
+namespace amo::sim {
+
+// ----- plain KK_beta runs (Sections 3-5) -----
+
+struct kk_sim_options {
+  usize n = 0;
+  usize m = 1;
+  usize beta = 0;          ///< 0 means beta = m (the effectiveness-optimal choice)
+  usize crash_budget = 0;  ///< f
+  selection_rule rule = selection_rule::paper_rank;
+  usize max_steps = 0;     ///< 0 means default_step_limit(n, m)
+};
+
+struct kk_sim_report {
+  usize n = 0;
+  usize m = 0;
+  usize beta = 0;
+  usize crash_budget = 0;
+  run_result sched;
+
+  usize effectiveness = 0;   ///< Do(alpha): distinct jobs performed
+  usize perform_events = 0;  ///< total do actions (== effectiveness iff correct)
+  bool at_most_once = true;
+  job_id duplicate = no_job;
+
+  op_counter total_work;
+  std::vector<kk_stats> per_process;  ///< index pid-1
+  usize total_collisions = 0;
+  double worst_pair_ratio = 0.0;  ///< vs Lemma 5.5 pair bounds
+  usize terminated = 0;           ///< processes that reached `end`
+};
+
+template <rank_set FS = bitset_rank_set>
+kk_sim_report run_kk(const kk_sim_options& opt, adversary& adv);
+
+// ----- IterativeKK(eps) / WA_IterativeKK(eps) runs (Sections 6-7) -----
+
+struct iter_sim_options {
+  usize n = 0;
+  usize m = 1;
+  unsigned eps_inv = 1;  ///< 1/eps
+  usize crash_budget = 0;
+  usize max_steps = 0;
+  bool write_all = false;  ///< false: Fig. 3; true: Fig. 4
+};
+
+struct iter_sim_report {
+  usize n = 0;
+  usize m = 0;
+  unsigned eps_inv = 1;
+  run_result sched;
+
+  usize effectiveness = 0;  ///< distinct real jobs performed
+  usize perform_events = 0;
+  bool at_most_once = true;  ///< meaningful in at-most-once mode only
+  job_id duplicate = no_job;
+
+  op_counter total_work;
+  usize total_collisions = 0;
+  usize num_levels = 0;
+
+  bool wa_complete = false;  ///< Write-All postcondition (wa mode)
+  usize wa_written = 0;
+  usize terminated = 0;
+};
+
+iter_sim_report run_iterative(const iter_sim_options& opt, adversary& adv);
+
+}  // namespace amo::sim

@@ -1,0 +1,43 @@
+// Work accounting in the paper's cost model (Definition 2.5): work is the
+// total number of basic operations — comparisons, additions, shared-memory
+// reads and writes — where each cell holds O(log n) bits and an operation on
+// a constant number of cells costs O(1).
+//
+// Set structures accept an optional op_counter and charge one unit per node
+// or word visited, so a tree search costs ~log n units exactly as the paper
+// assumes. Shared-memory backends charge reads/writes separately so benches
+// can decompose total work.
+#pragma once
+
+#include <cstdint>
+
+namespace amo {
+
+/// Tally of basic operations attributed to one process (or one phase).
+struct op_counter {
+  std::uint64_t shared_reads = 0;   ///< atomic register reads
+  std::uint64_t shared_writes = 0;  ///< atomic register writes
+  std::uint64_t local_ops = 0;      ///< set/structure elementary steps
+  std::uint64_t actions = 0;        ///< I/O-automaton actions executed
+
+  /// Total work in the paper's unit-cost model. Each action carries a
+  /// constant bookkeeping charge of 1 on top of its memory/set operations.
+  [[nodiscard]] std::uint64_t total() const {
+    return shared_reads + shared_writes + local_ops + actions;
+  }
+
+  op_counter& operator+=(const op_counter& o) {
+    shared_reads += o.shared_reads;
+    shared_writes += o.shared_writes;
+    local_ops += o.local_ops;
+    actions += o.actions;
+    return *this;
+  }
+
+  friend op_counter operator+(op_counter a, const op_counter& b) {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace amo

@@ -1,0 +1,52 @@
+#include "util/prng.hpp"
+
+namespace amo {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+xoshiro256::xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+xoshiro256::result_type xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t xoshiro256::below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Classic rejection sampling: discard the biased low tail so the modulo
+  // is exactly uniform. The rejection region is < bound/2^64 of the space,
+  // so the expected number of draws is ~1.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    const std::uint64_t x = (*this)();
+    if (x >= threshold) return x % bound;
+  }
+}
+
+std::uint64_t xoshiro256::between(std::uint64_t lo, std::uint64_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+bool xoshiro256::chance(std::uint64_t num, std::uint64_t den) {
+  return below(den) < num;
+}
+
+double xoshiro256::unit() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace amo

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for adversaries, workload
+// generators and property tests.
+//
+// All randomness in libamo flows through these generators so that every
+// simulated execution is reproducible from a single 64-bit seed. We use
+// splitmix64 for seeding and xoshiro256** as the workhorse generator
+// (Blackman & Vigna); both are tiny, fast and well studied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace amo {
+
+/// splitmix64: used to expand a user seed into generator state. Also handy
+/// as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies the essentials of
+/// std::uniform_random_bit_generator so it can drive <random> if needed.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Fisher-Yates shuffle driven by xoshiro256.
+template <class Vec>
+void shuffle(Vec& v, xoshiro256& rng) {
+  for (usize i = v.size(); i > 1; --i) {
+    const usize j = static_cast<usize>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace amo

@@ -1,0 +1,27 @@
+// Core vocabulary types shared by every libamo subsystem.
+//
+// The paper (Kentros & Kiayias, "Solving the At-Most-Once Problem with
+// Nearly Optimal Effectiveness") works with jobs J = [1..n] and processes
+// P = [1..m]; shared-memory cells hold O(log n) bits. We use 32-bit job
+// identifiers (n < 2^32) with 0 reserved as "no job", matching the paper's
+// `next_q in {0,..,n}, initially 0` convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amo {
+
+/// Job identifier. Valid jobs are 1..n; `no_job` (0) means "none announced".
+using job_id = std::uint32_t;
+
+/// Sentinel: the initial value of every shared register (Fig. 1).
+inline constexpr job_id no_job = 0;
+
+/// Process identifier, 1-based as in the paper (P = [1..m]).
+using process_id = std::uint32_t;
+
+/// Count type for sizes, ranks and work tallies.
+using usize = std::size_t;
+
+}  // namespace amo

@@ -1,0 +1,123 @@
+// The verification instruments themselves: amo_checker (duplicate
+// detection, performer attribution, thread safety) and collision_ledger
+// (pair accounting, Lemma 5.5 bounds).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "analysis/amo_checker.hpp"
+#include "analysis/collision_ledger.hpp"
+
+namespace amo {
+namespace {
+
+TEST(AmoChecker, CleanRun) {
+  amo_checker c(10);
+  for (job_id j = 1; j <= 10; ++j) c.record(1, j);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.distinct(), 10u);
+  EXPECT_EQ(c.total_events(), 10u);
+  EXPECT_EQ(c.violations(), 0u);
+  EXPECT_EQ(c.first_duplicate(), no_job);
+}
+
+TEST(AmoChecker, DetectsDuplicate) {
+  amo_checker c(10);
+  c.record(1, 3);
+  c.record(2, 3);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.violations(), 1u);
+  EXPECT_EQ(c.first_duplicate(), 3u);
+  EXPECT_EQ(c.distinct(), 1u);
+  EXPECT_EQ(c.total_events(), 2u);
+  EXPECT_EQ(c.times_performed(3), 2u);
+}
+
+TEST(AmoChecker, PerformerAttributionIsFirstWriter) {
+  amo_checker c(5);
+  c.record(4, 2);
+  c.record(1, 2);  // duplicate: attribution stays with the first
+  EXPECT_EQ(c.performer_of(2), 4u);
+  EXPECT_EQ(c.performer_of(1), 0u);  // never performed
+}
+
+TEST(AmoChecker, ConcurrentRecordingCountsExactly) {
+  constexpr usize kJobs = 50000;
+  amo_checker c(kJobs);
+  {
+    std::vector<std::jthread> threads;
+    for (process_id p = 1; p <= 4; ++p) {
+      threads.emplace_back([&c, p] {
+        // Thread p records the residue class p-1 mod 4: disjoint -> clean.
+        for (job_id j = p; j <= kJobs; j += 4) c.record(p, j);
+      });
+    }
+  }
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.distinct(), kJobs);
+}
+
+TEST(AmoChecker, ConcurrentDuplicatesAllCaught) {
+  constexpr usize kJobs = 10000;
+  amo_checker c(kJobs);
+  {
+    std::vector<std::jthread> threads;
+    for (process_id p = 1; p <= 4; ++p) {
+      threads.emplace_back([&c, p] {
+        for (job_id j = 1; j <= kJobs; ++j) c.record(p, j);  // everyone does all
+      });
+    }
+  }
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.total_events(), 4 * kJobs);
+  EXPECT_EQ(c.distinct(), kJobs);
+  EXPECT_EQ(c.violations(), 3 * kJobs);
+}
+
+TEST(CollisionLedger, TryHitAttribution) {
+  amo_checker checker(100);
+  collision_ledger ledger(4, 100);
+  ledger.record(1, 7, 3, false, checker);
+  ledger.record(1, 8, 3, false, checker);
+  ledger.record(3, 9, 1, false, checker);
+  EXPECT_EQ(ledger.total(), 3u);
+  EXPECT_EQ(ledger.count(1, 3), 2u);
+  EXPECT_EQ(ledger.count(3, 1), 1u);
+  EXPECT_EQ(ledger.pair_total(1, 3), 3u);
+  EXPECT_EQ(ledger.unattributed(), 0u);
+}
+
+TEST(CollisionLedger, DoneHitResolvedThroughChecker) {
+  amo_checker checker(100);
+  checker.record(2, 42);  // process 2 performed job 42
+  collision_ledger ledger(4, 100);
+  ledger.record(1, 42, 0, true, checker);
+  EXPECT_EQ(ledger.count(1, 2), 1u);
+  EXPECT_EQ(ledger.unattributed(), 0u);
+}
+
+TEST(CollisionLedger, UnattributedWhenPerformerUnknown) {
+  amo_checker checker(100);
+  collision_ledger ledger(4, 100);
+  ledger.record(1, 42, 0, true, checker);  // nobody performed 42
+  EXPECT_EQ(ledger.total(), 1u);
+  EXPECT_EQ(ledger.unattributed(), 1u);
+}
+
+TEST(CollisionLedger, PairBoundMatchesLemma55) {
+  collision_ledger ledger(10, 1000);
+  EXPECT_EQ(ledger.pair_bound(1, 2), 2 * 100u);  // 2*ceil(1000/(10*1))
+  EXPECT_EQ(ledger.pair_bound(1, 6), 2 * 20u);   // dist 5
+  EXPECT_EQ(ledger.pair_bound(10, 1), 2 * 12u);  // ceil(1000/90)=12
+}
+
+TEST(CollisionLedger, WorstPairRatio) {
+  amo_checker checker(1000);
+  collision_ledger ledger(4, 1000);
+  // Bound for (1,2) is 2*ceil(1000/4) = 500; record 250 -> ratio 0.5.
+  for (int i = 0; i < 250; ++i) ledger.record(1, 5, 2, false, checker);
+  EXPECT_DOUBLE_EQ(ledger.worst_pair_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace amo

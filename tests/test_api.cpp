@@ -1,0 +1,118 @@
+// The public facade (amo::perform_at_most_once / write_all): the contract a
+// downstream user relies on, as documented in rt/at_most_once.hpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rt/at_most_once.hpp"
+
+namespace amo {
+namespace {
+
+TEST(Api, QuickstartContract) {
+  run_config cfg;
+  cfg.num_jobs = 10000;
+  cfg.num_threads = 4;
+  std::atomic<usize> executed{0};
+  const run_report r = perform_at_most_once(cfg, [&executed](job_id) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(r.at_most_once);
+  EXPECT_EQ(r.jobs_performed, executed.load());
+  EXPECT_EQ(r.jobs_performed + r.jobs_unperformed, cfg.num_jobs);
+  // No crashes: effectiveness >= n - 2m + 2.
+  EXPECT_GE(r.jobs_performed, cfg.num_jobs - 2 * cfg.num_threads + 2);
+  EXPECT_EQ(r.threads_finished, cfg.num_threads);
+  EXPECT_GT(r.total_shared_ops, 0u);
+}
+
+TEST(Api, CustomBetaWidensTheLossWindow) {
+  run_config cfg;
+  cfg.num_jobs = 5000;
+  cfg.num_threads = 2;
+  cfg.beta = 100;
+  const run_report r = perform_at_most_once(cfg, nullptr);
+  EXPECT_TRUE(r.at_most_once);
+  EXPECT_GE(r.jobs_performed, 5000u - (100 + 2 - 2));
+}
+
+TEST(Api, IterativeVariantContract) {
+  run_config cfg;
+  cfg.num_jobs = 40000;
+  cfg.num_threads = 4;
+  const run_report r = perform_at_most_once_iterative(cfg, 2, nullptr);
+  EXPECT_TRUE(r.at_most_once);
+  EXPECT_EQ(r.threads_finished, cfg.num_threads);
+  EXPECT_GT(r.jobs_performed, 30000u);
+}
+
+TEST(Api, WriteAllContract) {
+  write_all_config cfg;
+  cfg.num_slots = 15000;
+  cfg.num_threads = 4;
+  std::vector<std::atomic<std::uint8_t>> slots(cfg.num_slots + 1);
+  const write_all_report r = write_all(cfg, [&slots](job_id j) {
+    slots[j].store(1, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.slots_written, cfg.num_slots);
+  EXPECT_GE(r.callback_invocations, r.slots_written);
+  for (job_id j = 1; j <= cfg.num_slots; ++j) {
+    ASSERT_EQ(slots[j].load(), 1u) << "slot " << j << " never written";
+  }
+}
+
+TEST(Api, SingleThreadIsExhaustiveWithBetaOne) {
+  run_config cfg;
+  cfg.num_jobs = 1000;
+  cfg.num_threads = 1;
+  cfg.beta = 1;
+  const run_report r = perform_at_most_once(cfg, nullptr);
+  EXPECT_EQ(r.jobs_performed, 1000u);
+  EXPECT_EQ(r.jobs_unperformed, 0u);
+}
+
+TEST(Api, CollectPerformedListsExactlyTheExecutedJobs) {
+  run_config cfg;
+  cfg.num_jobs = 4000;
+  cfg.num_threads = 4;
+  cfg.collect_performed = true;
+  std::vector<std::atomic<std::uint8_t>> seen(cfg.num_jobs + 1);
+  const run_report r = perform_at_most_once(cfg, [&seen](job_id j) {
+    seen[j].store(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(r.at_most_once);
+  ASSERT_EQ(r.performed.size(), r.jobs_performed);
+  // Sorted, unique, and exactly the set the callback observed.
+  for (usize i = 1; i < r.performed.size(); ++i) {
+    EXPECT_LT(r.performed[i - 1], r.performed[i]);
+  }
+  usize from_callback = 0;
+  for (job_id j = 1; j <= cfg.num_jobs; ++j) {
+    from_callback += seen[j].load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(from_callback, r.performed.size());
+  for (const job_id j : r.performed) {
+    EXPECT_EQ(seen[j].load(std::memory_order_relaxed), 1u) << j;
+  }
+}
+
+TEST(Api, PerformedListEmptyWhenNotRequested) {
+  run_config cfg;
+  cfg.num_jobs = 500;
+  cfg.num_threads = 2;
+  const run_report r = perform_at_most_once(cfg, nullptr);
+  EXPECT_TRUE(r.performed.empty());
+}
+
+TEST(Api, NullCallbackIsAllowed) {
+  run_config cfg;
+  cfg.num_jobs = 500;
+  cfg.num_threads = 2;
+  const run_report r = perform_at_most_once(cfg, nullptr);
+  EXPECT_TRUE(r.at_most_once);
+  EXPECT_GE(r.jobs_performed, 498u);
+}
+
+}  // namespace
+}  // namespace amo

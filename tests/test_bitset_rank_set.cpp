@@ -1,0 +1,121 @@
+// Unit and property tests for the bitmap+Fenwick rank set (the default
+// FREE-set representation), with emphasis on 64-bit word boundaries.
+#include <gtest/gtest.h>
+
+#include "rank_set_oracle.hpp"
+#include "sets/bitset_rank_set.hpp"
+#include "util/op_counter.hpp"
+
+namespace amo {
+namespace {
+
+TEST(BitsetRankSet, EmptyBasics) {
+  bitset_rank_set s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.rank_le(100), 0u);
+}
+
+TEST(BitsetRankSet, WordBoundaryElements) {
+  bitset_rank_set s(200);
+  for (job_id x : {job_id{1}, job_id{63}, job_id{64}, job_id{65}, job_id{127},
+                   job_id{128}, job_id{129}, job_id{200}}) {
+    EXPECT_TRUE(s.insert(x));
+  }
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.select(1), 1u);
+  EXPECT_EQ(s.select(2), 63u);
+  EXPECT_EQ(s.select(3), 64u);
+  EXPECT_EQ(s.select(4), 65u);
+  EXPECT_EQ(s.select(8), 200u);
+  EXPECT_EQ(s.rank_le(64), 3u);
+  EXPECT_EQ(s.rank_le(128), 6u);
+  EXPECT_TRUE(s.erase(64));
+  EXPECT_EQ(s.select(3), 65u);
+}
+
+TEST(BitsetRankSet, UniverseExactly64) {
+  auto s = bitset_rank_set::full(64);
+  EXPECT_EQ(s.size(), 64u);
+  EXPECT_EQ(s.select(64), 64u);
+  EXPECT_EQ(s.rank_le(64), 64u);
+  EXPECT_TRUE(s.erase(64));
+  EXPECT_EQ(s.size(), 63u);
+  EXPECT_EQ(s.rank_le(64), 63u);
+}
+
+TEST(BitsetRankSet, UniverseExactly65) {
+  auto s = bitset_rank_set::full(65);
+  EXPECT_EQ(s.size(), 65u);
+  EXPECT_EQ(s.select(65), 65u);
+}
+
+TEST(BitsetRankSet, FullMasksTailWord) {
+  // A full set over a non-multiple-of-64 universe must not count ghost bits.
+  auto s = bitset_rank_set::full(70);
+  EXPECT_EQ(s.size(), 70u);
+  EXPECT_EQ(s.rank_le(70), 70u);
+  EXPECT_FALSE(s.contains(71));
+  EXPECT_EQ(s.select(70), 70u);
+}
+
+TEST(BitsetRankSet, UniverseOfOne) {
+  auto s = bitset_rank_set::full(1);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.select(1), 1u);
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BitsetRankSet, SparseSelectInsideWord) {
+  bitset_rank_set s(64);
+  s.insert(3);
+  s.insert(5);
+  s.insert(62);
+  EXPECT_EQ(s.select(1), 3u);
+  EXPECT_EQ(s.select(2), 5u);
+  EXPECT_EQ(s.select(3), 62u);
+}
+
+TEST(BitsetRankSet, CounterCharges) {
+  op_counter oc;
+  auto s = bitset_rank_set::full(1 << 16);
+  s.set_counter(&oc);
+  s.erase(30000);
+  (void)s.select(10000);
+  (void)s.rank_le(50000);
+  EXPECT_GT(oc.local_ops, 0u);
+  EXPECT_LE(oc.local_ops, 96u);
+}
+
+TEST(BitsetOracle, RandomizedSmall) {
+  testing::run_randomized_stream<bitset_rank_set>(40, 2000, 121);
+}
+
+TEST(BitsetOracle, RandomizedMedium) {
+  testing::run_randomized_stream<bitset_rank_set>(500, 6000, 242);
+}
+
+TEST(BitsetOracle, RandomizedWordStraddling) {
+  testing::run_randomized_stream<bitset_rank_set>(129, 4000, 363);
+}
+
+TEST(BitsetOracle, ShrinkOnly) {
+  testing::run_shrink_stream<bitset_rank_set>(300, 383);
+}
+
+TEST(BitsetOracle, SubsetConstruction) {
+  testing::run_subset_construction<bitset_rank_set>(400, 484);
+}
+
+class BitsetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetSweep, RandomizedStreamsAcrossSeeds) {
+  testing::run_randomized_stream<bitset_rank_set>(128, 3000, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace amo

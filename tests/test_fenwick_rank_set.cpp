@@ -1,0 +1,108 @@
+// Unit and property tests for the Fenwick-tree-backed rank set.
+#include <gtest/gtest.h>
+
+#include "rank_set_oracle.hpp"
+#include "sets/fenwick_rank_set.hpp"
+#include "util/op_counter.hpp"
+
+namespace amo {
+namespace {
+
+TEST(FenwickRankSet, EmptyBasics) {
+  fenwick_rank_set s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(100));
+  EXPECT_EQ(s.rank_le(100), 0u);
+}
+
+TEST(FenwickRankSet, InsertEraseContains) {
+  fenwick_rank_set s(10);
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.select(1), 3u);
+  EXPECT_EQ(s.select(2), 7u);
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_EQ(s.select(1), 7u);
+}
+
+TEST(FenwickRankSet, FullBulkBuild) {
+  const auto s = fenwick_rank_set::full(1000);
+  EXPECT_EQ(s.size(), 1000u);
+  for (usize k : {usize{1}, usize{500}, usize{1000}}) {
+    EXPECT_EQ(s.select(k), k);
+  }
+  EXPECT_EQ(s.rank_le(750), 750u);
+}
+
+TEST(FenwickRankSet, UniverseOfOne) {
+  fenwick_rank_set s(1);
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_EQ(s.select(1), 1u);
+  EXPECT_EQ(s.rank_le(1), 1u);
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FenwickRankSet, NonPowerOfTwoUniverse) {
+  // select's binary descent must handle universes straddling the top level.
+  const auto s = fenwick_rank_set::full(1000);
+  for (usize k = 1; k <= 1000; k += 97) EXPECT_EQ(s.select(k), k);
+}
+
+TEST(FenwickRankSet, EraseOutOfRangeIsNoop) {
+  fenwick_rank_set s(10);
+  s.insert(5);
+  EXPECT_FALSE(s.erase(0));
+  EXPECT_FALSE(s.erase(11));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FenwickRankSet, RankLeBeyondUniverseClamps) {
+  const auto s = fenwick_rank_set::full(50);
+  EXPECT_EQ(s.rank_le(50), 50u);
+  EXPECT_EQ(s.rank_le(60), 50u);
+}
+
+TEST(FenwickRankSet, CounterCharges) {
+  op_counter oc;
+  auto s = fenwick_rank_set::full(1 << 14);
+  s.set_counter(&oc);
+  s.erase(9999);
+  (void)s.select(5000);
+  EXPECT_GT(oc.local_ops, 0u);
+  EXPECT_LE(oc.local_ops, 64u);
+}
+
+TEST(FenwickOracle, RandomizedSmall) {
+  testing::run_randomized_stream<fenwick_rank_set>(40, 2000, 111);
+}
+
+TEST(FenwickOracle, RandomizedMedium) {
+  testing::run_randomized_stream<fenwick_rank_set>(500, 6000, 222);
+}
+
+TEST(FenwickOracle, ShrinkOnly) {
+  testing::run_shrink_stream<fenwick_rank_set>(300, 333);
+}
+
+TEST(FenwickOracle, SubsetConstruction) {
+  testing::run_subset_construction<fenwick_rank_set>(400, 444);
+}
+
+class FenwickSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FenwickSweep, RandomizedStreamsAcrossSeeds) {
+  testing::run_randomized_stream<fenwick_rank_set>(128, 3000, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FenwickSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace amo

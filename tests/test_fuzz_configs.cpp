@@ -1,0 +1,135 @@
+// Configuration fuzzing: several hundred randomly drawn (n, m, beta, rule,
+// adversary, crash-budget) combinations, including degenerate corners the
+// fixed grids skip (n == m, beta far above n, single process, beta < m).
+// Invariants checked on every draw:
+//   * at-most-once, always (any beta, any rule — Lemma 4.1);
+//   * for beta >= m: quiescence and the Lemma 4.2 effectiveness floor;
+//   * accounting identities (writes == announces + records, perform events
+//     == distinct jobs).
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "sim/harness.hpp"
+#include "util/prng.hpp"
+
+namespace amo {
+namespace {
+
+struct drawn_config {
+  sim::kk_sim_options opt;
+  usize adversary_index;
+  std::uint64_t adv_seed;
+};
+
+drawn_config draw(xoshiro256& rng) {
+  drawn_config d;
+  d.opt.m = static_cast<usize>(rng.between(1, 12));
+  d.opt.n = static_cast<usize>(rng.between(d.opt.m, 2000));
+  switch (rng.below(4)) {
+    case 0: d.opt.beta = 0; break;                                    // = m
+    case 1: d.opt.beta = static_cast<usize>(rng.between(1, d.opt.m)); break;
+    case 2: d.opt.beta = 3 * d.opt.m * d.opt.m; break;
+    default: d.opt.beta = static_cast<usize>(rng.between(1, 2 * d.opt.n + 2));
+  }
+  d.opt.rule = rng.chance(1, 4) ? selection_rule::two_ends
+                                : selection_rule::paper_rank;
+  d.opt.crash_budget = static_cast<usize>(rng.below(d.opt.m));
+  d.adversary_index = static_cast<usize>(
+      rng.below(sim::standard_adversaries().size()));
+  d.adv_seed = rng();
+  // Bounded run: beta < m (or two_ends with m > 2) may legitimately not
+  // terminate; safety must hold on the prefix regardless.
+  d.opt.max_steps = 64 * (d.opt.n + 8) * (d.opt.m + 2);
+  return d;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, InvariantsHoldOnRandomConfigurations) {
+  xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const drawn_config d = draw(rng);
+    auto adv = sim::standard_adversaries()[d.adversary_index].make(d.adv_seed);
+    const auto r = sim::run_kk<>(d.opt, *adv);
+
+    const std::string ctx =
+        "n=" + std::to_string(d.opt.n) + " m=" + std::to_string(d.opt.m) +
+        " beta=" + std::to_string(d.opt.beta) +
+        " rule=" + (d.opt.rule == selection_rule::two_ends ? "two_ends" : "rank") +
+        " adv=" + std::string(adv->name()) + " f=" +
+        std::to_string(d.opt.crash_budget) + " seed=" + std::to_string(d.adv_seed);
+
+    // Safety: unconditional.
+    ASSERT_TRUE(r.at_most_once) << ctx << " duplicate=" << r.duplicate;
+    EXPECT_EQ(r.perform_events, r.effectiveness) << ctx;
+
+    // Accounting identities.
+    usize announces = 0;
+    usize records = 0;
+    for (const auto& s : r.per_process) {
+      announces += s.announces;
+      records += s.records;
+      EXPECT_LE(s.performs, s.announces) << ctx;
+    }
+    EXPECT_EQ(r.total_work.shared_writes, announces + records) << ctx;
+    // A crash can land between a do and its record, so records trails the
+    // perform count by at most the crash count.
+    EXPECT_LE(records, r.perform_events) << ctx;
+    EXPECT_LE(r.perform_events, records + r.sched.crashes) << ctx;
+
+    // Liveness + effectiveness floor in the guaranteed regime.
+    const usize beta = d.opt.beta == 0 ? d.opt.m : d.opt.beta;
+    if (beta >= d.opt.m && d.opt.rule == selection_rule::paper_rank) {
+      ASSERT_TRUE(r.sched.quiescent) << ctx << " (possible livelock)";
+      EXPECT_GE(r.effectiveness,
+                bounds::kk_effectiveness(d.opt.n, d.opt.m, beta))
+          << ctx;
+    }
+    if (r.sched.quiescent) {
+      EXPECT_EQ(r.terminated + r.sched.crashes, d.opt.m) << ctx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(0xA11CE, 0xB0B, 0xCAFE, 0xD00D,
+                                           0xE66, 0xF00));
+
+class IterativeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IterativeFuzz, InvariantsHoldOnRandomConfigurations) {
+  xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 12; ++iter) {
+    sim::iter_sim_options opt;
+    opt.m = static_cast<usize>(rng.between(1, 6));
+    opt.n = static_cast<usize>(rng.between(std::max<usize>(opt.m, 10), 6000));
+    opt.eps_inv = static_cast<unsigned>(rng.between(1, 4));
+    opt.write_all = rng.chance(1, 2);
+    opt.crash_budget = static_cast<usize>(rng.below(opt.m));
+    auto adv = sim::standard_adversaries()[rng.below(6)].make(rng());
+    const auto r = sim::run_iterative(opt, *adv);
+
+    const std::string ctx = "n=" + std::to_string(opt.n) +
+                            " m=" + std::to_string(opt.m) + " eps_inv=" +
+                            std::to_string(opt.eps_inv) +
+                            (opt.write_all ? " wa" : " amo") +
+                            " f=" + std::to_string(opt.crash_budget);
+
+    ASSERT_TRUE(r.sched.quiescent) << ctx;
+    if (opt.write_all) {
+      if (r.sched.crashes < opt.m) {
+        EXPECT_TRUE(r.wa_complete)
+            << ctx << " wrote " << r.wa_written << "/" << opt.n;
+      }
+    } else {
+      ASSERT_TRUE(r.at_most_once) << ctx << " duplicate=" << r.duplicate;
+      EXPECT_EQ(r.perform_events, r.effectiveness) << ctx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IterativeFuzz,
+                         ::testing::Values(0x1111, 0x2222, 0x3333, 0x4444));
+
+}  // namespace
+}  // namespace amo

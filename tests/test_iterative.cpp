@@ -1,0 +1,200 @@
+// IterativeKK(eps) — Sections 6: cross-level at-most-once (Theorem 6.3),
+// per-level output purity (Lemma 6.2), effectiveness within the Theorem 6.4
+// envelope, termination, and crash tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "sim/harness.hpp"
+
+namespace amo {
+namespace {
+
+class IterativeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<usize, usize, unsigned, usize, std::uint64_t>> {};
+
+TEST_P(IterativeSweep, AtMostOnceAndEffectiveness) {
+  const auto [n, m, eps_inv, adversary_index, seed] = GetParam();
+  sim::iter_sim_options opt;
+  opt.n = n;
+  opt.m = m;
+  opt.eps_inv = eps_inv;
+  auto adv = sim::standard_adversaries()[adversary_index].make(seed);
+  const auto report = sim::run_iterative(opt, *adv);
+  ASSERT_TRUE(report.sched.quiescent) << adv->name();
+  EXPECT_TRUE(report.at_most_once)
+      << "duplicate real job " << report.duplicate << " under " << adv->name();
+  EXPECT_EQ(report.num_levels, eps_inv + 2u);
+  EXPECT_EQ(report.terminated, m);
+  // Theorem 6.4 envelope on jobs lost.
+  const double loss = static_cast<double>(n) -
+                      static_cast<double>(report.effectiveness);
+  EXPECT_LE(loss, bounds::iterative_loss_envelope(n, m, eps_inv))
+      << "n=" << n << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IterativeSweep,
+    ::testing::Combine(::testing::Values<usize>(2048, 8192),
+                       ::testing::Values<usize>(2, 3, 4),
+                       ::testing::Values<unsigned>(1, 2),
+                       ::testing::Values<usize>(0, 1, 4),
+                       ::testing::Values<std::uint64_t>(19)));
+
+TEST(Iterative, CrashSweepStaysSafe) {
+  for (const usize f : {usize{1}, usize{3}}) {
+    for (const std::uint64_t seed : {7ull, 21ull}) {
+      sim::iter_sim_options opt;
+      opt.n = 4096;
+      opt.m = 4;
+      opt.eps_inv = 2;
+      opt.crash_budget = f;
+      sim::random_adversary adv(seed, 1, 400);
+      const auto report = sim::run_iterative(opt, adv);
+      ASSERT_TRUE(report.sched.quiescent);
+      EXPECT_TRUE(report.at_most_once) << "duplicate " << report.duplicate;
+      EXPECT_EQ(report.terminated + report.sched.crashes, 4u);
+    }
+  }
+}
+
+TEST(Iterative, Lemma62OutputsExcludePerformedSuperJobs) {
+  // For every level: no super-job in any process's returned set may have
+  // been performed by ANY process at that level. We track per-level perform
+  // events through the hook factory and intersect with outputs post-run.
+  const usize n = 4096;
+  const usize m = 3;
+  const unsigned eps_inv = 2;
+  iterative_shared<sim_memory> shared(make_iterative_plan(n, m, eps_inv));
+  const usize num_levels = shared.plan.levels.size();
+  std::vector<std::set<job_id>> performed_at_level(num_levels);
+
+  std::vector<std::unique_ptr<iterative_process<sim_memory>>> procs;
+  std::vector<automaton*> handles;
+  for (process_id pid = 1; pid <= m; ++pid) {
+    auto hook_factory = [&performed_at_level](usize level, const super_job_space&) {
+      kk_hooks hooks;
+      hooks.on_perform = [&performed_at_level, level](process_id, job_id s) {
+        performed_at_level[level].insert(s);
+      };
+      return hooks;
+    };
+    procs.push_back(std::make_unique<iterative_process<sim_memory>>(
+        shared, pid, false, nullptr, hook_factory));
+    handles.push_back(procs.back().get());
+  }
+  sim::scheduler sched(handles);
+  sim::random_adversary adv(5);
+  const auto result = sched.run(adv, 0, sim::default_step_limit(n, m) * 8);
+  ASSERT_TRUE(result.quiescent);
+
+  for (const auto& proc : procs) {
+    const auto& outputs = proc->level_outputs();
+    ASSERT_EQ(outputs.size(), num_levels);
+    for (usize level = 0; level < num_levels; ++level) {
+      for (const job_id s : outputs[level]) {
+        EXPECT_EQ(performed_at_level[level].count(s), 0u)
+            << "level " << level << " returned performed super-job " << s
+            << " (Lemma 6.2 violation)";
+      }
+    }
+  }
+}
+
+TEST(Iterative, SuperJobsPerformedAtMostOncePerLevel) {
+  // Lemma 6.1: within one level, no super-job is performed twice.
+  const usize n = 4096;
+  const usize m = 4;
+  iterative_shared<sim_memory> shared(make_iterative_plan(n, m, 1));
+  const usize num_levels = shared.plan.levels.size();
+  std::vector<std::unique_ptr<amo_checker>> level_checkers;
+  for (usize l = 0; l < num_levels; ++l) {
+    level_checkers.push_back(
+        std::make_unique<amo_checker>(shared.plan.levels[l].count()));
+  }
+  std::vector<std::unique_ptr<iterative_process<sim_memory>>> procs;
+  std::vector<automaton*> handles;
+  for (process_id pid = 1; pid <= m; ++pid) {
+    auto hook_factory = [&level_checkers](usize level, const super_job_space&) {
+      kk_hooks hooks;
+      hooks.on_perform = [&level_checkers, level](process_id p, job_id s) {
+        level_checkers[level]->record(p, s);
+      };
+      return hooks;
+    };
+    procs.push_back(std::make_unique<iterative_process<sim_memory>>(
+        shared, pid, false, nullptr, hook_factory));
+    handles.push_back(procs.back().get());
+  }
+  sim::scheduler sched(handles);
+  sim::block_adversary adv(31, 16);
+  const auto result = sched.run(adv, 0, sim::default_step_limit(n, m) * 8);
+  ASSERT_TRUE(result.quiescent);
+  for (usize l = 0; l < num_levels; ++l) {
+    EXPECT_TRUE(level_checkers[l]->ok())
+        << "super-job " << level_checkers[l]->first_duplicate()
+        << " performed twice at level " << l;
+  }
+}
+
+TEST(Iterative, ProcessesMayRunLevelsOutOfLockstep) {
+  // One process races ahead through all levels while others lag: safety
+  // must not depend on any level barrier.
+  sim::iter_sim_options opt;
+  opt.n = 2048;
+  opt.m = 4;
+  opt.eps_inv = 1;
+  sim::stale_view_adversary adv(1 << 22);  // leader runs essentially forever
+  const auto report = sim::run_iterative(opt, adv);
+  ASSERT_TRUE(report.sched.quiescent);
+  EXPECT_TRUE(report.at_most_once);
+  EXPECT_GE(report.effectiveness, 1u);
+}
+
+TEST(Iterative, EffectivenessBelowPlainKkButWorkFlatterAtScale) {
+  // The design trade: IterativeKK sacrifices O(m^2 log n log m) jobs to cut
+  // work. Verify the effectiveness ordering (plain >= iterative) on the
+  // same schedule family.
+  const usize n = 8192;
+  const usize m = 4;
+  sim::round_robin_adversary adv1;
+  sim::kk_sim_options kopt;
+  kopt.n = n;
+  kopt.m = m;
+  const auto plain = sim::run_kk<>(kopt, adv1);
+
+  sim::round_robin_adversary adv2;
+  sim::iter_sim_options iopt;
+  iopt.n = n;
+  iopt.m = m;
+  iopt.eps_inv = 2;
+  const auto iter = sim::run_iterative(iopt, adv2);
+
+  ASSERT_TRUE(plain.sched.quiescent);
+  ASSERT_TRUE(iter.sched.quiescent);
+  EXPECT_GE(plain.effectiveness, iter.effectiveness);
+  EXPECT_GT(iter.effectiveness, n / 2);  // still performs the bulk
+}
+
+TEST(Iterative, TinyInstanceDegradesGracefully) {
+  // n barely above 3m^2: most levels terminate immediately; the final
+  // size-1 level still performs within its Theorem 4.4 envelope.
+  sim::iter_sim_options opt;
+  opt.n = 100;
+  opt.m = 2;
+  opt.eps_inv = 3;
+  sim::round_robin_adversary adv;
+  const auto report = sim::run_iterative(opt, adv);
+  ASSERT_TRUE(report.sched.quiescent);
+  EXPECT_TRUE(report.at_most_once);
+  const double loss = 100.0 - static_cast<double>(report.effectiveness);
+  EXPECT_LE(loss, bounds::iterative_loss_envelope(100, 2, 3));
+}
+
+}  // namespace
+}  // namespace amo

@@ -1,0 +1,102 @@
+// Wait-freedom (Lemma 4.3): no fair execution of KK_beta (beta >= m) runs
+// forever. Operationally: every run reaches quiescence well within the
+// defensive step limit, under every adversary family, with and without
+// crashes, and the survivors all reach `end` (not merely the scheduler
+// stalling).  Also Lemma 4.2's flip side: termination implies the job count
+// is already >= n - (beta + m - 2).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "sim/harness.hpp"
+
+namespace amo {
+namespace {
+
+class Termination
+    : public ::testing::TestWithParam<std::tuple<usize, usize, usize, std::uint64_t>> {
+};
+
+TEST_P(Termination, QuiescesWithinBudget) {
+  const auto [n, m, adversary_index, seed] = GetParam();
+  sim::kk_sim_options opt;
+  opt.n = n;
+  opt.m = m;
+  auto adv = sim::standard_adversaries()[adversary_index].make(seed);
+  const auto report = sim::run_kk<>(opt, *adv);
+  ASSERT_TRUE(report.sched.quiescent) << adv->name() << " livelocked";
+  EXPECT_EQ(report.terminated + report.sched.crashes, m);
+  EXPECT_LT(report.sched.total_steps, sim::default_step_limit(n, m));
+  // Lemma 4.2: quiescence requires the bound to have been met.
+  EXPECT_GE(report.effectiveness, bounds::kk_effectiveness(n, m, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Termination,
+    ::testing::Combine(::testing::Values<usize>(128, 700),
+                       ::testing::Values<usize>(2, 4, 9, 16),
+                       ::testing::Values<usize>(0, 1, 2, 3, 4, 5),
+                       ::testing::Values<std::uint64_t>(101)));
+
+TEST(Termination, SurvivorFinishesAloneAfterMassCrash) {
+  // All but one process crash mid-run; the survivor must still terminate
+  // (wait-freedom means no process ever waits on another).
+  sim::kk_sim_options opt;
+  opt.n = 300;
+  opt.m = 6;
+  opt.crash_budget = 5;
+  sim::random_adversary adv(77, 1, 50);  // aggressive crashes
+  const auto report = sim::run_kk<>(opt, adv);
+  ASSERT_TRUE(report.sched.quiescent);
+  EXPECT_EQ(report.terminated, 6u - report.sched.crashes);
+  EXPECT_TRUE(report.at_most_once);
+}
+
+TEST(Termination, ActionCountScalesReasonably) {
+  // The action count for a fair schedule should be O(n*m) up to collision
+  // overhead — far below the defensive limit; this catches accidental
+  // busy-loop regressions in the automaton.
+  sim::kk_sim_options opt;
+  opt.n = 2000;
+  opt.m = 4;
+  sim::round_robin_adversary adv;
+  const auto report = sim::run_kk<>(opt, adv);
+  ASSERT_TRUE(report.sched.quiescent);
+  // Each performed job costs its performer ~2m+5 actions (one gather pass)
+  // plus collision reruns; x8 headroom.
+  EXPECT_LT(report.sched.total_steps, 8 * (2 * opt.m + 5) * opt.n);
+}
+
+TEST(Termination, BetaEqualToNEndsImmediately) {
+  // beta > n - ... : |FREE \ TRY| < beta at the very first compNext; every
+  // process must end without performing anything.
+  sim::kk_sim_options opt;
+  opt.n = 50;
+  opt.m = 2;
+  opt.beta = 51;
+  sim::round_robin_adversary adv;
+  const auto report = sim::run_kk<>(opt, adv);
+  ASSERT_TRUE(report.sched.quiescent);
+  EXPECT_EQ(report.effectiveness, 0u);
+  EXPECT_EQ(report.terminated, 2u);
+}
+
+TEST(Termination, TwoEndsRuleAlsoTerminates) {
+  // The AO2-style rule with beta = 1 terminates on exhaustion; regression
+  // guard against the both-pick-the-same-job livelock.
+  for (const std::uint64_t seed : {5ull, 6ull, 7ull, 8ull}) {
+    sim::kk_sim_options opt;
+    opt.n = 257;
+    opt.m = 2;
+    opt.beta = 1;
+    opt.rule = selection_rule::two_ends;
+    sim::random_adversary adv(seed);
+    const auto report = sim::run_kk<>(opt, adv);
+    EXPECT_TRUE(report.sched.quiescent) << "seed " << seed;
+    EXPECT_TRUE(report.at_most_once);
+  }
+}
+
+}  // namespace
+}  // namespace amo

@@ -1,0 +1,108 @@
+// Unit and property tests for the weight-balanced order-statistic tree.
+#include <gtest/gtest.h>
+
+#include "rank_set_oracle.hpp"
+#include "sets/ostree.hpp"
+#include "util/op_counter.hpp"
+
+namespace amo {
+namespace {
+
+TEST(Ostree, EmptyBasics) {
+  ostree s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.rank_le(100), 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Ostree, SingleElement) {
+  ostree s(10);
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.select(1), 5u);
+  EXPECT_EQ(s.rank_le(4), 0u);
+  EXPECT_EQ(s.rank_le(5), 1u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Ostree, FullConstruction) {
+  const ostree s = ostree::full(257);
+  EXPECT_EQ(s.size(), 257u);
+  EXPECT_EQ(s.select(1), 1u);
+  EXPECT_EQ(s.select(257), 257u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Ostree, AscendingInsertStaysBalanced) {
+  ostree s(4096);
+  for (job_id x = 1; x <= 4096; ++x) s.insert(x);
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_EQ(s.select(2048), 2048u);
+}
+
+TEST(Ostree, DescendingInsertStaysBalanced) {
+  ostree s(4096);
+  for (job_id x = 4096; x >= 1; --x) s.insert(x);
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_EQ(s.select(1), 1u);
+}
+
+TEST(Ostree, AlternatingEraseKeepsInvariants) {
+  ostree s = ostree::full(1024);
+  for (job_id x = 2; x <= 1024; x += 2) EXPECT_TRUE(s.erase(x));
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_EQ(s.size(), 512u);
+  for (usize k = 1; k <= 512; ++k) EXPECT_EQ(s.select(k), 2 * k - 1);
+}
+
+TEST(Ostree, NodeRecyclingReusesPool) {
+  ostree s(64);
+  for (int round = 0; round < 20; ++round) {
+    for (job_id x = 1; x <= 64; ++x) s.insert(x);
+    for (job_id x = 1; x <= 64; ++x) s.erase(x);
+  }
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Ostree, CounterChargesLogarithmically) {
+  op_counter oc;
+  ostree s = ostree::full(1 << 16);
+  s.set_counter(&oc);
+  (void)s.contains(12345);
+  // A balanced tree of 65536 nodes has height <= ~3*log2(n) for WBT(3,2).
+  EXPECT_GT(oc.local_ops, 0u);
+  EXPECT_LE(oc.local_ops, 64u);
+}
+
+TEST(OstreeOracle, RandomizedSmall) {
+  testing::run_randomized_stream<ostree>(40, 2000, 101);
+}
+
+TEST(OstreeOracle, RandomizedMedium) {
+  testing::run_randomized_stream<ostree>(500, 6000, 202);
+}
+
+TEST(OstreeOracle, ShrinkOnly) { testing::run_shrink_stream<ostree>(300, 303); }
+
+TEST(OstreeOracle, SubsetConstruction) {
+  testing::run_subset_construction<ostree>(400, 404);
+}
+
+class OstreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OstreeSweep, RandomizedStreamsAcrossSeeds) {
+  testing::run_randomized_stream<ostree>(128, 3000, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OstreeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace amo

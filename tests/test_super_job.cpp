@@ -1,0 +1,146 @@
+// Tests for super-job geometry and Fig. 3's map(): partition laws, nesting,
+// coverage exactness, and the iterative plan's size ladder.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/super_job.hpp"
+
+namespace amo {
+namespace {
+
+TEST(SuperJobSpace, PartitionCoversUniverseExactly) {
+  const super_job_space sp{100, 8};
+  EXPECT_EQ(sp.count(), 13u);
+  std::set<job_id> covered;
+  for (job_id s = 1; s <= sp.count(); ++s) {
+    for (job_id j = sp.first_job(s); j <= sp.last_job(s); ++j) {
+      EXPECT_TRUE(covered.insert(j).second) << "job covered twice: " << j;
+      EXPECT_EQ(sp.super_of(j), s);
+    }
+  }
+  EXPECT_EQ(covered.size(), 100u);
+  EXPECT_EQ(*covered.begin(), 1u);
+  EXPECT_EQ(*covered.rbegin(), 100u);
+}
+
+TEST(SuperJobSpace, TailBlockIsShort) {
+  const super_job_space sp{10, 4};
+  EXPECT_EQ(sp.count(), 3u);
+  EXPECT_EQ(sp.first_job(3), 9u);
+  EXPECT_EQ(sp.last_job(3), 10u);
+}
+
+TEST(SuperJobSpace, SizeOneIsIdentity) {
+  const super_job_space sp{7, 1};
+  EXPECT_EQ(sp.count(), 7u);
+  for (job_id j = 1; j <= 7; ++j) {
+    EXPECT_EQ(sp.first_job(j), j);
+    EXPECT_EQ(sp.last_job(j), j);
+    EXPECT_EQ(sp.super_of(j), j);
+  }
+}
+
+/// Real jobs covered by a super-job set.
+std::set<job_id> coverage(const std::vector<job_id>& supers,
+                          const super_job_space& sp) {
+  std::set<job_id> out;
+  for (const job_id s : supers) {
+    for (job_id j = sp.first_job(s); j <= sp.last_job(s); ++j) out.insert(j);
+  }
+  return out;
+}
+
+TEST(MapSuperJobs, PreservesCoverageExactly) {
+  const super_job_space from{100, 16};
+  const super_job_space to{100, 4};
+  const std::vector<job_id> set1{1, 3, 7};  // 7 is the short tail block
+  const auto mapped = map_super_jobs(set1, from, to);
+  EXPECT_EQ(coverage(mapped, to), coverage(set1, from));
+}
+
+TEST(MapSuperJobs, IdentityWhenSizesEqual) {
+  const super_job_space sp{64, 8};
+  const std::vector<job_id> set1{2, 5, 8};
+  EXPECT_EQ(map_super_jobs(set1, sp, sp), set1);
+}
+
+TEST(MapSuperJobs, OutputSortedAndDisjoint) {
+  const super_job_space from{1000, 64};
+  const super_job_space to{1000, 8};
+  const std::vector<job_id> set1{1, 2, 9, 16};
+  const auto mapped = map_super_jobs(set1, from, to);
+  for (usize i = 1; i < mapped.size(); ++i) EXPECT_LT(mapped[i - 1], mapped[i]);
+}
+
+TEST(MapSuperJobs, EmptyInEmptyOut) {
+  const super_job_space from{50, 8};
+  const super_job_space to{50, 2};
+  EXPECT_TRUE(map_super_jobs({}, from, to).empty());
+}
+
+TEST(IterativePlan, SizesArePowersOfTwoAndNonIncreasing) {
+  for (usize n : {usize{1000}, usize{65536}, usize{12345}}) {
+    for (usize m : {usize{2}, usize{4}, usize{16}}) {
+      for (unsigned eps_inv : {1u, 2u, 3u}) {
+        const auto plan = make_iterative_plan(n, m, eps_inv);
+        ASSERT_EQ(plan.levels.size(), eps_inv + 2u);
+        usize prev = ~usize{0};
+        for (const auto& lv : plan.levels) {
+          EXPECT_EQ(lv.n, n);
+          EXPECT_GE(lv.size, 1u);
+          EXPECT_EQ(lv.size & (lv.size - 1), 0u) << "not a power of two";
+          EXPECT_LE(lv.size, prev);
+          prev = lv.size;
+        }
+        EXPECT_EQ(plan.levels.back().size, 1u);
+        EXPECT_EQ(plan.beta, 3 * m * m);
+      }
+    }
+  }
+}
+
+TEST(IterativePlan, ConsecutiveSizesNest) {
+  const auto plan = make_iterative_plan(1 << 18, 8, 3);
+  for (usize i = 1; i < plan.levels.size(); ++i) {
+    EXPECT_EQ(plan.levels[i - 1].size % plan.levels[i].size, 0u);
+  }
+}
+
+TEST(IterativePlan, FirstLevelTracksFormula) {
+  // d0 ~ m * lg n * lg m rounded down to a power of two.
+  const usize n = 1 << 20;
+  const usize m = 8;
+  const auto plan = make_iterative_plan(n, m, 1);
+  const usize raw = m * 20 * 3;  // 480
+  EXPECT_EQ(plan.levels.front().size, 256u);  // floor_pow2(480)
+  EXPECT_LE(plan.levels.front().size, raw);
+  EXPECT_GT(plan.levels.front().size * 2, raw);
+}
+
+TEST(IterativePlan, DegenerateParametersClampToOne) {
+  const auto plan = make_iterative_plan(10, 1, 1);
+  for (const auto& lv : plan.levels) {
+    EXPECT_GE(lv.size, 1u);
+    EXPECT_LE(lv.size, 10u);
+  }
+}
+
+TEST(IterativePlan, ChainedMapPreservesCoverageAcrossAllLevels) {
+  const usize n = 4096 + 17;
+  const auto plan = make_iterative_plan(n, 4, 2);
+  // Start from the full level-0 universe and map down level by level.
+  std::vector<job_id> current(plan.levels[0].count());
+  std::iota(current.begin(), current.end(), job_id{1});
+  auto want = coverage(current, plan.levels[0]);
+  EXPECT_EQ(want.size(), n);
+  for (usize i = 1; i < plan.levels.size(); ++i) {
+    current = map_super_jobs(current, plan.levels[i - 1], plan.levels[i]);
+    EXPECT_EQ(coverage(current, plan.levels[i]), want) << "level " << i;
+  }
+  EXPECT_EQ(current.size(), n);  // final level is size 1: real jobs
+}
+
+}  // namespace
+}  // namespace amo

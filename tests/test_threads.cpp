@@ -1,0 +1,154 @@
+// Real-concurrency tests: the same automaton code on std::atomic registers
+// with genuine OS-thread interleavings. Safety (no duplicate do) must hold
+// on every run; Lemma 4.2 gives a hard effectiveness floor whenever all
+// surviving threads terminate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "analysis/bounds.hpp"
+#include "rt/thread_executor.hpp"
+
+namespace amo {
+namespace {
+
+usize hw_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : hc;
+}
+
+TEST(Threads, AtMostOnceAcrossRepeatedRuns) {
+  const usize m = std::min<usize>(hw_threads(), 8);
+  for (int round = 0; round < 8; ++round) {
+    rt::thread_run_options opt;
+    opt.n = 20000;
+    opt.m = m;
+    const auto report = rt::run_kk_threads(opt, nullptr);
+    ASSERT_TRUE(report.at_most_once)
+        << "duplicate job " << report.duplicate << " in round " << round;
+    EXPECT_EQ(report.terminated, m);
+    EXPECT_GE(report.effectiveness, bounds::kk_effectiveness(20000, m, m));
+    EXPECT_LE(report.effectiveness, 20000u);
+  }
+}
+
+TEST(Threads, JobFunctionSeesEachJobOnce) {
+  const usize n = 8000;
+  const usize m = std::min<usize>(hw_threads(), 6);
+  std::vector<std::atomic<std::uint32_t>> hits(n + 1);
+  rt::thread_run_options opt;
+  opt.n = n;
+  opt.m = m;
+  const auto report = rt::run_kk_threads(opt, [&hits](process_id, job_id j) {
+    hits[j].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(report.at_most_once);
+  usize performed = 0;
+  for (job_id j = 1; j <= n; ++j) {
+    const auto h = hits[j].load(std::memory_order_relaxed);
+    ASSERT_LE(h, 1u) << "job " << j << " executed " << h << " times";
+    performed += h;
+  }
+  EXPECT_EQ(performed, report.effectiveness);
+}
+
+TEST(Threads, CrashInjectionAfterAnnounce) {
+  // Threads 1..m-1 crash right after their first announce — the thread-
+  // runtime version of the Theorem 4.4 adversary. The survivor must finish,
+  // and effectiveness must be >= the bound (scheduling noise usually makes
+  // it land above the simulated tight value, never below).
+  const usize n = 5000;
+  const usize m = 4;
+  rt::thread_run_options opt;
+  opt.n = n;
+  opt.m = m;
+  opt.crashes = rt::crash_plan::after_first_announce(m - 1);
+  const auto report = rt::run_kk_threads(opt, nullptr);
+  ASSERT_TRUE(report.at_most_once);
+  EXPECT_EQ(report.crashed, m - 1);
+  EXPECT_EQ(report.terminated, 1u);
+  EXPECT_GE(report.effectiveness, bounds::kk_effectiveness(n, m, m));
+  EXPECT_LE(report.effectiveness, bounds::effectiveness_upper(n, 0));
+}
+
+TEST(Threads, CrashInjectionMidRun) {
+  const usize n = 10000;
+  const usize m = std::min<usize>(hw_threads(), 6);
+  std::vector<usize> at(m, 0);
+  for (usize i = 0; i + 1 < m; ++i) at[i] = 500 * (i + 1);  // survivor: last
+  rt::thread_run_options opt;
+  opt.n = n;
+  opt.m = m;
+  opt.crashes = rt::crash_plan::after_actions(at);
+  const auto report = rt::run_kk_threads(opt, nullptr);
+  ASSERT_TRUE(report.at_most_once) << "duplicate " << report.duplicate;
+  EXPECT_GE(report.terminated, 1u);
+  EXPECT_GE(report.effectiveness, bounds::kk_effectiveness(n, m, m));
+}
+
+TEST(Threads, SingleThreadDegeneratesToSequential) {
+  rt::thread_run_options opt;
+  opt.n = 3000;
+  opt.m = 1;
+  opt.beta = 1;
+  const auto report = rt::run_kk_threads(opt, nullptr);
+  EXPECT_TRUE(report.at_most_once);
+  EXPECT_EQ(report.effectiveness, 3000u);
+}
+
+TEST(Threads, IterativeAtMostOnce) {
+  const usize m = std::min<usize>(hw_threads(), 6);
+  for (int round = 0; round < 4; ++round) {
+    rt::iter_thread_options opt;
+    opt.n = 30000;
+    opt.m = m;
+    opt.eps_inv = 2;
+    const auto report = rt::run_iterative_threads(opt, nullptr);
+    ASSERT_TRUE(report.at_most_once)
+        << "duplicate real job " << report.duplicate << " round " << round;
+    EXPECT_EQ(report.terminated, m);
+    const double loss =
+        30000.0 - static_cast<double>(report.effectiveness);
+    EXPECT_LE(loss, bounds::iterative_loss_envelope(30000, m, 2));
+  }
+}
+
+TEST(Threads, WriteAllCompletesUnderConcurrency) {
+  const usize m = std::min<usize>(hw_threads(), 6);
+  for (int round = 0; round < 4; ++round) {
+    rt::iter_thread_options opt;
+    opt.n = 20000;
+    opt.m = m;
+    opt.eps_inv = 1;
+    opt.write_all = true;
+    const auto report = rt::run_iterative_threads(opt, nullptr);
+    EXPECT_TRUE(report.wa_complete)
+        << report.wa_written << "/20000 in round " << round;
+  }
+}
+
+TEST(Threads, WriteAllWithCrashes) {
+  const usize m = 5;
+  rt::iter_thread_options opt;
+  opt.n = 10000;
+  opt.m = m;
+  opt.eps_inv = 1;
+  opt.write_all = true;
+  opt.crashes = rt::crash_plan::after_actions({2000, 4000, 0, 6000, 0});
+  const auto report = rt::run_iterative_threads(opt, nullptr);
+  EXPECT_TRUE(report.wa_complete);
+  EXPECT_EQ(report.wa_written, 10000u);
+}
+
+TEST(CrashPlan, PredicatesBehave) {
+  const auto by_actions = rt::crash_plan::after_actions({5, 0, 7});
+  EXPECT_EQ(by_actions.planned_crashes(), 2u);
+  const auto by_announce = rt::crash_plan::after_first_announce(3);
+  EXPECT_EQ(by_announce.planned_crashes(), 3u);
+  const rt::crash_plan none;
+  EXPECT_EQ(none.planned_crashes(), 0u);
+}
+
+}  // namespace
+}  // namespace amo

@@ -1,0 +1,112 @@
+// Unit tests for try_set (the < m-element TRY set with announcer
+// attribution) and done_set (the DONE bitmap).
+#include <gtest/gtest.h>
+
+#include "sets/done_set.hpp"
+#include "sets/try_set.hpp"
+#include "util/prng.hpp"
+
+namespace amo {
+namespace {
+
+TEST(TrySet, InsertContainsClear) {
+  try_set t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.insert(5, 2));
+  EXPECT_FALSE(t.insert(5, 3));  // already present
+  EXPECT_TRUE(t.insert(3, 1));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(4));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.contains(5));
+}
+
+TEST(TrySet, AnnouncerRefreshedOnReinsert) {
+  try_set t;
+  t.insert(7, 2);
+  EXPECT_EQ(t.announcer_of(7), 2u);
+  t.insert(7, 4);  // same job announced by a later-read process
+  EXPECT_EQ(t.announcer_of(7), 4u);
+  EXPECT_EQ(t.announcer_of(8), 0u);
+}
+
+TEST(TrySet, EntriesSortedByJob) {
+  try_set t;
+  t.insert(9, 1);
+  t.insert(2, 2);
+  t.insert(5, 3);
+  const auto e = t.entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].job, 2u);
+  EXPECT_EQ(e[1].job, 5u);
+  EXPECT_EQ(e[2].job, 9u);
+  EXPECT_EQ(e[1].announcer, 3u);
+}
+
+TEST(TrySet, ManyInsertsStaySorted) {
+  try_set t;
+  xoshiro256 rng(55);
+  for (int i = 0; i < 100; ++i) {
+    t.insert(static_cast<job_id>(rng.between(1, 60)),
+             static_cast<process_id>(rng.between(1, 4)));
+  }
+  const auto e = t.entries();
+  for (usize i = 1; i < e.size(); ++i) EXPECT_LT(e[i - 1].job, e[i].job);
+}
+
+TEST(TrySet, CounterCharges) {
+  op_counter oc;
+  try_set t;
+  t.set_counter(&oc);
+  t.insert(1, 1);
+  t.contains(1);
+  EXPECT_GT(oc.local_ops, 0u);
+}
+
+TEST(DoneSet, InsertContains) {
+  done_set d(100);
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.insert(42));
+  EXPECT_FALSE(d.insert(42));  // idempotent
+  EXPECT_TRUE(d.contains(42));
+  EXPECT_FALSE(d.contains(41));
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DoneSet, OutOfRangeContainsIsFalse) {
+  done_set d(10);
+  EXPECT_FALSE(d.contains(0));
+  EXPECT_FALSE(d.contains(11));
+}
+
+TEST(DoneSet, WordBoundaries) {
+  done_set d(130);
+  for (job_id x : {job_id{63}, job_id{64}, job_id{65}, job_id{128}, job_id{129}}) {
+    EXPECT_TRUE(d.insert(x));
+    EXPECT_TRUE(d.contains(x));
+  }
+  EXPECT_EQ(d.size(), 5u);
+  const auto v = d.to_vector();
+  EXPECT_EQ(v, (std::vector<job_id>{63, 64, 65, 128, 129}));
+}
+
+TEST(DoneSet, ToVectorSortedComplete) {
+  done_set d(64);
+  xoshiro256 rng(77);
+  std::set<job_id> ref;
+  for (int i = 0; i < 40; ++i) {
+    const job_id x = static_cast<job_id>(rng.between(1, 64));
+    d.insert(x);
+    ref.insert(x);
+  }
+  const auto v = d.to_vector();
+  ASSERT_EQ(v.size(), ref.size());
+  usize i = 0;
+  for (const job_id x : ref) EXPECT_EQ(v[i++], x);
+}
+
+}  // namespace
+}  // namespace amo
