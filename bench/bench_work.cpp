@@ -11,6 +11,8 @@ namespace {
 
 using namespace amo;
 
+benchx::json_report g_json;
+
 void sweep_n() {
   benchx::print_title(
       "E4.1  Work scaling in n (m = 8, beta = 3m^2 = 192)",
@@ -35,6 +37,12 @@ void sweep_n() {
                  fmt_count(static_cast<std::uint64_t>(envelope)),
                  benchx::ratio(static_cast<double>(r.total_work.total()),
                                envelope)});
+      g_json.add({{"experiment", benchx::json_report::str("E4.1_sweep_n")},
+                  {"n", benchx::json_report::num(std::uint64_t{n})},
+                  {"m", benchx::json_report::num(std::uint64_t{m})},
+                  {"adversary", benchx::json_report::str(which)},
+                  {"work", benchx::json_report::num(r.total_work.total())},
+                  {"envelope", benchx::json_report::num(envelope)}});
     }
   }
   benchx::print_table(t);
@@ -58,6 +66,13 @@ void sweep_m() {
                fmt_count(static_cast<std::uint64_t>(envelope)),
                benchx::ratio(static_cast<double>(r.total_work.total()), envelope),
                fmt_count(r.total_collisions)});
+    g_json.add({{"experiment", benchx::json_report::str("E4.2_sweep_m")},
+                {"n", benchx::json_report::num(std::uint64_t{n})},
+                {"m", benchx::json_report::num(std::uint64_t{m})},
+                {"work", benchx::json_report::num(r.total_work.total())},
+                {"envelope", benchx::json_report::num(envelope)},
+                {"collisions", benchx::json_report::num(
+                                   std::uint64_t{r.total_collisions})}});
   }
   benchx::print_table(t);
 }
@@ -85,6 +100,13 @@ void decompose() {
   t.add_row({"actions", fmt_count(r.total_work.actions),
              benchx::ratio(static_cast<double>(r.total_work.actions), total)});
   benchx::print_table(t);
+  g_json.add({{"experiment", benchx::json_report::str("E4.3_decompose")},
+              {"n", benchx::json_report::num(std::uint64_t{n})},
+              {"m", benchx::json_report::num(std::uint64_t{m})},
+              {"shared_reads", benchx::json_report::num(r.total_work.shared_reads)},
+              {"shared_writes", benchx::json_report::num(r.total_work.shared_writes)},
+              {"local_ops", benchx::json_report::num(r.total_work.local_ops)},
+              {"actions", benchx::json_report::num(r.total_work.actions)}});
 }
 
 }  // namespace
@@ -94,6 +116,9 @@ int main() {
   sweep_n();
   sweep_m();
   decompose();
+  if (g_json.write("BENCH_work.json")) {
+    std::printf("\n[%zu records -> BENCH_work.json]", g_json.size());
+  }
   std::printf("\n[bench_work done in %.1fs]\n", clock.seconds());
   return 0;
 }

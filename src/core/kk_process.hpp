@@ -136,6 +136,34 @@ class kk_process final : public automaton {
   process_id q_ = 1;
   bool finalizing_ = false;
 
+  /// |FREE \ TRY| cache (word-parallel FS only). compNext charges the cost
+  /// model's recomputation price but skips the recomputation when the cache
+  /// is valid; the cache is invalidated on exactly the events that can
+  /// change the difference — a fresh TRY insert or a FREE erase observed in
+  /// a gather pass — and revalidated on TRY clear and on the recomputation
+  /// itself. The own-record erase is maintained in place instead: `check`
+  /// just proved NEXT is not in TRY, so the difference shrinks by one.
+  /// In quiescent schedules the gather passes observe nothing new and every
+  /// compNext after the first is O(1); under churn the recomputation runs
+  /// exactly as often as the reference implementation would.
+  usize avail_cache_ = 0;
+  bool avail_cache_valid_ = false;
+
+  void note_try_insert(bool fresh) {
+    if (fresh) avail_cache_valid_ = false;
+  }
+
+  void note_gather_erase() { avail_cache_valid_ = false; }
+
+  void note_record_erase(bool erased) {
+    if (erased && avail_cache_valid_) --avail_cache_;
+  }
+
+  void note_try_clear() {
+    avail_cache_ = free_.size();
+    avail_cache_valid_ = word_rank_set<FS>;
+  }
+
   perform_fn perform_;
   kk_hooks hooks_;
   kk_stats stats_;
@@ -169,6 +197,15 @@ kk_process<M, FS>::kk_process(M& mem, const kk_config& cfg,
   free_.set_counter(&stats_.work);
   done_.set_counter(&stats_.work);
   try_.set_counter(&stats_.work);
+  if (universe_ >= 1 && m_ > word_parallel_threshold + 1) {
+    // The shadow bitmap powers the word-parallel FREE \ TRY paths in
+    // rank_select.hpp; it is pure representation and never charges work.
+    // |TRY| < m, so below the threshold those paths can never engage and
+    // the bitmap would be dead weight on the gather hot path.
+    try_.bind_universe(static_cast<job_id>(universe_));
+  }
+  avail_cache_ = free_.size();  // TRY starts empty, so FREE \ TRY = FREE
+  avail_cache_valid_ = word_rank_set<FS>;
 }
 
 template <class M, rank_set FS>
@@ -260,12 +297,41 @@ template <class M, rank_set FS>
   requires kk_memory<M>
 void kk_process<M, FS>::act_comp_next() {
   ++stats_.comp_nexts;
-  const usize avail = size_excluding(free_, try_, &work());
+  usize avail;
+  if (word_rank_set<FS> && avail_cache_valid_) {
+    // The cache already holds |FREE \ TRY|; charge the cost model's price
+    // for the recomputation (one unit per TRY entry on the operator plus
+    // one FREE contains() unit each — what size_excluding charges) and
+    // skip the work itself.
+    work().local_ops += 2 * try_.size();
+    avail = avail_cache_;
+#ifndef NDEBUG
+    if constexpr (word_rank_set<FS>) {
+      usize overlap = 0;
+      for (const auto& e : try_.entries()) {
+        const bool in_free =
+            e.job >= 1 && e.job <= free_.universe() &&
+            ((free_.word((static_cast<usize>(e.job) - 1) / 64) >>
+              ((e.job - 1) % 64)) &
+             1u);
+        if (in_free) ++overlap;
+      }
+      assert(avail == free_.size() - overlap);
+    }
+#endif
+  } else {
+    avail = size_excluding(free_, try_, &work());
+    if constexpr (word_rank_set<FS>) {
+      avail_cache_ = avail;  // the recomputation revalidates the cache
+      avail_cache_valid_ = true;
+    }
+  }
   if (avail >= beta_ && avail > 0) {
     const usize idx = choose_rank_index(avail);
     next_ = rank_excluding(free_, try_, idx, &work());
     q_ = 1;
     try_.clear();
+    note_try_clear();
     status_ = kk_status::set_next;
   } else if (mode_ == kk_mode::plain) {
     finish_output();
@@ -295,7 +361,7 @@ template <class M, rank_set FS>
 void kk_process<M, FS>::act_gather_try() {
   if (q_ != pid_) {
     const job_id v = mem_.read_next(q_, work());
-    if (v > no_job) try_.insert(v, q_);
+    if (v > no_job) note_try_insert(try_.insert(v, q_));
   }
   if (q_ + 1 <= m_) {
     ++q_;
@@ -317,7 +383,7 @@ void kk_process<M, FS>::act_gather_done() {
       const job_id v = mem_.read_done(q_, pos, work());
       if (v > no_job) {
         done_.insert(v);
-        free_.erase(v);
+        if (free_.erase(v)) note_gather_erase();
         pos_[q_] = pos + 1;
         advance = false;  // same row again next action: more may follow
       }
@@ -387,7 +453,7 @@ void kk_process<M, FS>::act_record() {
   mem_.write_done(pid_, pos_[pid_], next_, work());
   ++stats_.records;
   done_.insert(next_);
-  free_.erase(next_);
+  note_record_erase(free_.erase(next_));
   ++pos_[pid_];
   status_ = mode_ == kk_mode::plain ? kk_status::comp_next : kk_status::flag_poll;
 }
@@ -401,6 +467,7 @@ void kk_process<M, FS>::begin_finalize() {
   finalizing_ = true;
   q_ = 1;
   try_.clear();
+  note_try_clear();
   status_ = kk_status::gather_try;
 }
 

@@ -8,8 +8,16 @@
 // membership alone drives `check` — but it lets the analysis layer attribute
 // collisions to process pairs, which is how bench E5 validates the pairwise
 // collision bound of Lemma 5.5.
+//
+// When bound to a job universe (bind_universe), the set additionally keeps a
+// shadow bitmap over [1..U] plus the short list of bitmap words it occupies
+// (at most |TRY| < m of them). Word-parallel callers (rank_select.hpp) can
+// then evaluate FREE \ TRY queries as AND-NOT + popcount over those words
+// instead of per-entry probes. The shadow is pure representation: it never
+// charges the op_counter and never changes observable membership.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -29,8 +37,30 @@ class try_set {
 
   void set_counter(op_counter* oc) { oc_ = oc; }
 
-  /// Resets to empty (compNext does this on every invocation).
-  void clear() { entries_.clear(); }
+  /// Attaches a shadow bitmap over [1..universe] and materializes any
+  /// current entries into it. Inserting a job above `universe` afterwards is
+  /// an error (the KK automaton never does: announcements are job ids).
+  void bind_universe(job_id universe);
+
+  /// True when bind_universe has been called.
+  [[nodiscard]] bool has_shadow() const { return shadow_universe_ != 0; }
+
+  /// The shadow bitmap words (empty span when unbound). Only the words
+  /// listed by occupied_words() are valid — clear() advances a generation
+  /// stamp instead of zeroing, and stale words are lazily reset on the next
+  /// insert that touches them.
+  [[nodiscard]] std::span<const std::uint64_t> shadow_words() const {
+    return shadow_;
+  }
+
+  /// Indices of shadow words with at least one bit set (unsorted, <= size()).
+  [[nodiscard]] std::span<const std::uint32_t> occupied_words() const {
+    return occupied_;
+  }
+
+  /// Resets to empty (compNext does this on every invocation). O(1): the
+  /// shadow generation advances, invalidating every occupied word at once.
+  void clear();
 
   /// Inserts (job, announcer); if the job is already present the announcer
   /// is refreshed to the most recent reader observation. Returns true if the
@@ -38,6 +68,15 @@ class try_set {
   bool insert(job_id j, process_id announcer);
 
   [[nodiscard]] bool contains(job_id j) const;
+
+  /// Uncharged membership probe for cache-maintenance bookkeeping: O(1) via
+  /// the shadow bitmap when bound, binary search otherwise. Never touches
+  /// the op_counter — callers use it for invalidation decisions that the
+  /// paper's cost model does not see.
+  [[nodiscard]] bool peek(job_id j) const;
+
+  /// Number of entries with job <= j (uncharged, O(log m)).
+  [[nodiscard]] usize count_le(job_id j) const;
 
   /// Announcer recorded for job j, or 0 if j is absent.
   [[nodiscard]] process_id announcer_of(job_id j) const;
@@ -55,7 +94,14 @@ class try_set {
   /// Index of first entry with job >= j.
   [[nodiscard]] usize lower_bound(job_id j) const;
 
+  void shadow_set(job_id j);
+
   std::vector<entry> entries_;
+  std::vector<std::uint64_t> shadow_;    // bit (j-1) set <=> j in set
+  std::vector<std::uint32_t> occupied_;  // words of shadow_ with bits set
+  std::vector<std::uint32_t> word_gen_;  // shadow word valid iff == gen_
+  std::uint32_t gen_ = 1;
+  job_id shadow_universe_ = 0;
   op_counter* oc_ = nullptr;
 };
 

@@ -2,6 +2,8 @@
 // attribution) and done_set (the DONE bitmap).
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sets/done_set.hpp"
 #include "sets/try_set.hpp"
 #include "util/prng.hpp"
@@ -62,8 +64,71 @@ TEST(TrySet, CounterCharges) {
   try_set t;
   t.set_counter(&oc);
   t.insert(1, 1);
-  t.contains(1);
+  (void)t.contains(1);
   EXPECT_GT(oc.local_ops, 0u);
+}
+
+TEST(TrySetShadow, BindMaterializesExistingEntries) {
+  try_set t;
+  t.insert(5, 1);
+  t.insert(130, 2);
+  EXPECT_FALSE(t.has_shadow());
+  t.bind_universe(200);
+  ASSERT_TRUE(t.has_shadow());
+  EXPECT_TRUE(t.peek(5));
+  EXPECT_TRUE(t.peek(130));
+  EXPECT_FALSE(t.peek(6));
+  EXPECT_FALSE(t.peek(201));  // out of universe
+}
+
+TEST(TrySetShadow, ShadowTracksInsertAndClear) {
+  try_set t;
+  t.bind_universe(1000);
+  t.insert(64, 1);   // last bit of word 0
+  t.insert(65, 1);   // first bit of word 1
+  t.insert(70, 2);   // same word as 65
+  EXPECT_EQ(t.occupied_words().size(), 2u);
+  EXPECT_TRUE(t.peek(64));
+  EXPECT_TRUE(t.peek(70));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.peek(64));
+  EXPECT_FALSE(t.peek(70));
+  EXPECT_TRUE(t.occupied_words().empty());
+  // Reuse after clear: the generation stamp must lazily reset stale words.
+  t.insert(64, 3);
+  EXPECT_TRUE(t.peek(64));
+  EXPECT_FALSE(t.peek(65));  // same word as a pre-clear entry, now absent
+  ASSERT_EQ(t.occupied_words().size(), 1u);
+  const auto w = t.occupied_words()[0];
+  EXPECT_EQ(t.shadow_words()[w], std::uint64_t{1} << 63);
+}
+
+TEST(TrySetShadow, ManyGenerationsStayConsistent) {
+  try_set t;
+  t.bind_universe(512);
+  xoshiro256 rng(99);
+  for (int gen = 0; gen < 300; ++gen) {
+    std::set<job_id> ref;
+    const int k = static_cast<int>(rng.between(0, 7));
+    for (int i = 0; i < k; ++i) {
+      const auto j = static_cast<job_id>(rng.between(1, 512));
+      t.insert(j, 1);
+      ref.insert(j);
+    }
+    for (job_id j = 1; j <= 512; ++j) {
+      ASSERT_EQ(t.peek(j), ref.count(j) == 1) << "gen " << gen << " job " << j;
+      ASSERT_EQ(t.contains(j), ref.count(j) == 1);
+    }
+    // count_le agrees with the reference at sampled points.
+    for (int q = 0; q < 8; ++q) {
+      const auto x = static_cast<job_id>(rng.between(1, 512));
+      usize expect = 0;
+      for (const job_id j : ref) expect += j <= x ? 1 : 0;
+      ASSERT_EQ(t.count_le(x), expect);
+    }
+    t.clear();
+  }
 }
 
 TEST(DoneSet, InsertContains) {
