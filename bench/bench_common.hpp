@@ -1,71 +1,25 @@
 // Shared helpers for the table-style benches (experiments E1-E8 of
-// DESIGN.md): consistent headers, adversary construction, ratio formatting,
-// and a minimal machine-readable JSON emitter so the perf trajectory can be
-// tracked across PRs alongside the human-readable tables.
+// DESIGN.md): consistent headers, ratio formatting, and the shared JSON
+// emitter so the perf trajectory can be tracked across PRs alongside the
+// human-readable tables.
+//
+// The JSON emitter is exp::json_writer (src/exp/report.hpp) — the single
+// escaping-correct implementation the experiment engine, amo_lab and all
+// benches share; `benchx::json_report` is an alias kept for existing call
+// sites.
 #pragma once
 
 #include <cstdio>
-#include <initializer_list>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "exp/report.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
 
 namespace amo::benchx {
 
-/// Accumulates flat {string: value} records and writes them as a JSON array.
-/// Values are passed pre-encoded via num()/str().
-class json_report {
- public:
-  static std::string num(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return buf;
-  }
-  static std::string num(std::uint64_t v) { return std::to_string(v); }
-  static std::string str(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
-  void add(std::initializer_list<std::pair<std::string, std::string>> fields) {
-    std::string row = "  {";
-    bool first = true;
-    for (const auto& [k, v] : fields) {
-      if (!first) row += ", ";
-      first = false;
-      row += str(k) + ": " + v;
-    }
-    row += "}";
-    rows_.push_back(std::move(row));
-  }
-
-  /// Writes `[ {...}, ... ]` to `path`; returns false on I/O failure.
-  bool write(const char* path) const {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) return false;
-    std::fputs("[\n", f);
-    for (usize i = 0; i < rows_.size(); ++i) {
-      std::fputs(rows_[i].c_str(), f);
-      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
-    }
-    std::fputs("]\n", f);
-    return std::fclose(f) == 0;
-  }
-
-  [[nodiscard]] usize size() const { return rows_.size(); }
-
- private:
-  std::vector<std::string> rows_;
-};
+using json_report = exp::json_writer;
 
 inline void print_title(const char* experiment, const char* claim) {
   std::printf("\n================================================================\n");

@@ -16,6 +16,7 @@
 #include "baselines/kkns_style.hpp"
 #include "baselines/tas_executor.hpp"
 #include "bench_common.hpp"
+#include "exp/engine.hpp"
 #include "sim/harness.hpp"
 
 namespace {
@@ -35,12 +36,13 @@ usize measure_ao2_worst(usize n) {
 }
 
 usize measure_kk_worst(usize n, usize m) {
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.crash_budget = m - 1;
-  sim::announce_crash_adversary adv;
-  return sim::run_kk<>(opt, adv).effectiveness;
+  exp::run_spec s;
+  s.algo = exp::algo_family::kk;
+  s.n = n;
+  s.m = m;
+  s.crash_budget = m - 1;
+  s.adversary.name = "announce_crash";
+  return exp::run(s).effectiveness;
 }
 
 }  // namespace

@@ -9,42 +9,57 @@
 //
 // Table 2: minimum effectiveness across crash-free adversary families —
 // every schedule must land between the formula and n.
+//
+// All grids are exp::run_spec cells executed by the exp::sweep pool.
 #include <algorithm>
 #include <vector>
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "sim/harness.hpp"
+#include "exp/sweep.hpp"
+#include "sim/adversary.hpp"
 
 namespace {
 
 using namespace amo;
 
+exp::run_spec kk_cell(usize n, usize m, usize beta, usize f,
+                      const std::string& adversary, std::uint64_t seed = 1) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::kk;
+  s.n = n;
+  s.m = m;
+  s.beta = beta;
+  s.crash_budget = f;
+  s.adversary = {adversary, seed};
+  return s;
+}
+
 void table_worst_case() {
   benchx::print_title(
       "E1.1  Effectiveness of KK_beta under the Theorem 4.4 adversary",
       "claim: exactly n - (beta + m - 2); within additive m of the n-f ceiling");
-  text_table t({"n", "m", "beta", "f", "measured", "formula", "ceiling n-f",
-                "trivial", "exact?"});
+  std::vector<exp::run_spec> cells;
   for (const usize n : {usize{1024}, usize{16384}, usize{131072}}) {
     for (const usize m : {usize{2}, usize{8}, usize{32}}) {
       for (const usize beta : {m, 3 * m * m}) {
         if (beta + m >= n) continue;
-        sim::kk_sim_options opt;
-        opt.n = n;
-        opt.m = m;
-        opt.beta = beta;
-        opt.crash_budget = m - 1;
-        sim::announce_crash_adversary adv;
-        const auto r = sim::run_kk<>(opt, adv);
-        const usize formula = bounds::kk_effectiveness(n, m, beta);
-        t.add_row({fmt_count(n), fmt_count(m), fmt_count(beta), fmt_count(m - 1),
-                   fmt_count(r.effectiveness), fmt_count(formula),
-                   fmt_count(bounds::effectiveness_upper(n, m - 1)),
-                   fmt_count(bounds::trivial_effectiveness(n, m, m - 1)),
-                   benchx::yesno(r.effectiveness == formula && r.at_most_once)});
+        cells.push_back(kk_cell(n, m, beta, m - 1, "announce_crash"));
       }
     }
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"n", "m", "beta", "f", "measured", "formula", "ceiling n-f",
+                "trivial", "exact?"});
+  for (const exp::run_report& r : result.reports) {
+    const usize formula = bounds::kk_effectiveness(r.n, r.m, r.beta);
+    t.add_row({fmt_count(r.n), fmt_count(r.m), fmt_count(r.beta),
+               fmt_count(r.m - 1), fmt_count(r.effectiveness),
+               fmt_count(formula),
+               fmt_count(bounds::effectiveness_upper(r.n, r.m - 1)),
+               fmt_count(bounds::trivial_effectiveness(r.n, r.m, r.m - 1)),
+               benchx::yesno(r.effectiveness == formula && r.at_most_once)});
   }
   benchx::print_table(t);
 }
@@ -53,27 +68,38 @@ void table_crash_free() {
   benchx::print_title(
       "E1.2  Minimum effectiveness across crash-free schedules",
       "claim: every quiescent execution performs >= n - (beta + m - 2) jobs");
-  text_table t({"n", "m", "min effectiveness", "formula", "max (any schedule)",
-                "bound met?"});
+  struct group {
+    usize n, m;
+    std::vector<usize> cell_indices;
+  };
+  std::vector<group> groups;
+  std::vector<exp::run_spec> cells;
   for (const usize n : {usize{4096}, usize{65536}}) {
     for (const usize m : {usize{2}, usize{8}, usize{32}}) {
-      usize lo = ~usize{0};
-      usize hi = 0;
+      group g{n, m, {}};
       for (const auto& factory : sim::standard_adversaries()) {
         for (const std::uint64_t seed : {1ull, 2ull}) {
-          sim::kk_sim_options opt;
-          opt.n = n;
-          opt.m = m;
-          auto adv = factory.make(seed);
-          const auto r = sim::run_kk<>(opt, *adv);
-          lo = std::min(lo, r.effectiveness);
-          hi = std::max(hi, r.effectiveness);
+          g.cell_indices.push_back(cells.size());
+          cells.push_back(kk_cell(n, m, 0, 0, factory.label, seed));
         }
       }
-      const usize formula = bounds::kk_effectiveness(n, m, m);
-      t.add_row({fmt_count(n), fmt_count(m), fmt_count(lo), fmt_count(formula),
-                 fmt_count(hi), benchx::yesno(lo >= formula)});
+      groups.push_back(std::move(g));
     }
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"n", "m", "min effectiveness", "formula", "max (any schedule)",
+                "bound met?"});
+  for (const group& g : groups) {
+    usize lo = ~usize{0};
+    usize hi = 0;
+    for (const usize i : g.cell_indices) {
+      lo = std::min(lo, result.reports[i].effectiveness);
+      hi = std::max(hi, result.reports[i].effectiveness);
+    }
+    const usize formula = bounds::kk_effectiveness(g.n, g.m, g.m);
+    t.add_row({fmt_count(g.n), fmt_count(g.m), fmt_count(lo), fmt_count(formula),
+               fmt_count(hi), benchx::yesno(lo >= formula)});
   }
   benchx::print_table(t);
 }
@@ -82,20 +108,19 @@ void table_beta_sweep() {
   benchx::print_title(
       "E1.3  Loss grows linearly in beta (tight adversary, n = 32768, m = 8)",
       "claim: unperformed jobs = beta + m - 2 for every beta >= m");
-  text_table t({"beta", "measured loss", "beta+m-2", "exact?"});
   const usize n = 32768;
   const usize m = 8;
+  std::vector<exp::run_spec> cells;
   for (const usize beta : {usize{8}, usize{16}, usize{64}, usize{192}, usize{1024}}) {
-    sim::kk_sim_options opt;
-    opt.n = n;
-    opt.m = m;
-    opt.beta = beta;
-    opt.crash_budget = m - 1;
-    sim::announce_crash_adversary adv;
-    const auto r = sim::run_kk<>(opt, adv);
+    cells.push_back(kk_cell(n, m, beta, m - 1, "announce_crash"));
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"beta", "measured loss", "beta+m-2", "exact?"});
+  for (const exp::run_report& r : result.reports) {
     const usize loss = n - r.effectiveness;
-    t.add_row({fmt_count(beta), fmt_count(loss), fmt_count(beta + m - 2),
-               benchx::yesno(loss == beta + m - 2)});
+    t.add_row({fmt_count(r.beta), fmt_count(loss), fmt_count(r.beta + m - 2),
+               benchx::yesno(loss == r.beta + m - 2)});
   }
   benchx::print_table(t);
 }
@@ -108,15 +133,16 @@ void table_distribution() {
       "between floor and n");
   const usize n = 16384;
   const usize m = 8;
-  std::vector<usize> samples;
-  samples.reserve(64);
+  std::vector<exp::run_spec> cells;
+  cells.reserve(64);
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
-    sim::kk_sim_options opt;
-    opt.n = n;
-    opt.m = m;
-    opt.crash_budget = m - 1;
-    sim::random_adversary adv(seed * 104729, 1, 400);
-    const auto r = sim::run_kk<>(opt, adv);
+    cells.push_back(kk_cell(n, m, 0, m - 1, "random+crash:1/400", seed * 104729));
+  }
+  const auto result = exp::sweep(cells);
+
+  std::vector<usize> samples;
+  samples.reserve(result.reports.size());
+  for (const exp::run_report& r : result.reports) {
     samples.push_back(r.effectiveness);
   }
   std::sort(samples.begin(), samples.end());

@@ -3,42 +3,53 @@
 // n + m^{3+eps} lg n — asymptotically BELOW plain KK_beta's n m lg n lg m.
 // The last table shows the work crossover that motivates the construction:
 // plain KK_beta outperforms at small n/m, IterativeKK wins as n grows.
+// Grids run on the exp::sweep pool.
 #include <cmath>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "sim/harness.hpp"
+#include "exp/sweep.hpp"
 #include "util/math.hpp"
 
 namespace {
 
 using namespace amo;
 
+exp::run_spec iter_cell(usize n, usize m, unsigned eps_inv) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::iterative;
+  s.n = n;
+  s.m = m;
+  s.eps_inv = eps_inv;
+  s.adversary = {"round_robin", 1};
+  return s;
+}
+
 void table_effectiveness() {
   benchx::print_title(
       "E6.1  IterativeKK(eps): safety and effectiveness (round_robin)",
       "claim: zero duplicates; loss <= (2+1/eps) m^2 lg n lg m + 3m^2 + m - 2");
-  text_table t({"n", "m", "1/eps", "levels", "effectiveness", "loss",
-                "loss envelope", "dup-free?", "within?"});
+  std::vector<exp::run_spec> cells;
   for (const usize n : {usize{8192}, usize{65536}, usize{262144}}) {
     for (const usize m : {usize{2}, usize{4}, usize{8}}) {
       for (const unsigned eps_inv : {1u, 2u, 3u}) {
-        sim::iter_sim_options opt;
-        opt.n = n;
-        opt.m = m;
-        opt.eps_inv = eps_inv;
-        sim::round_robin_adversary adv;
-        const auto r = sim::run_iterative(opt, adv);
-        const usize loss = n - r.effectiveness;
-        const double envelope = bounds::iterative_loss_envelope(n, m, eps_inv);
-        t.add_row({fmt_count(n), fmt_count(m), fmt_count(eps_inv),
-                   fmt_count(r.num_levels), fmt_count(r.effectiveness),
-                   fmt_count(loss),
-                   fmt_count(static_cast<std::uint64_t>(envelope)),
-                   benchx::yesno(r.at_most_once),
-                   benchx::yesno(static_cast<double>(loss) <= envelope)});
+        cells.push_back(iter_cell(n, m, eps_inv));
       }
     }
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"n", "m", "1/eps", "levels", "effectiveness", "loss",
+                "loss envelope", "dup-free?", "within?"});
+  for (const exp::run_report& r : result.reports) {
+    const usize loss = r.n - r.effectiveness;
+    const double envelope = bounds::iterative_loss_envelope(r.n, r.m, r.eps_inv);
+    t.add_row({fmt_count(r.n), fmt_count(r.m), fmt_count(r.eps_inv),
+               fmt_count(r.num_levels), fmt_count(r.effectiveness),
+               fmt_count(loss), fmt_count(static_cast<std::uint64_t>(envelope)),
+               benchx::yesno(r.at_most_once),
+               benchx::yesno(static_cast<double>(loss) <= envelope)});
   }
   benchx::print_table(t);
 }
@@ -61,27 +72,27 @@ void table_work() {
       "claim: ratio stays bounded as n grows FOR m within the optimality\n"
       "range m <= (n/lg n)^{1/(3+eps)}; outside it the construction "
       "degenerates (expected)");
-  text_table t({"n", "m", "1/eps", "m in range?", "work", "envelope", "ratio"});
+  const unsigned eps_inv = 2;
+  std::vector<exp::run_spec> cells;
   for (const usize m : {usize{4}, usize{8}, usize{16}}) {
     for (const usize n :
          {usize{16384}, usize{65536}, usize{262144}, usize{1048576},
           usize{4194304}}) {
       if (m < 16 && n > 1048576) continue;  // the big point is for m = 16
-      const unsigned eps_inv = 2;
-      sim::iter_sim_options opt;
-      opt.n = n;
-      opt.m = m;
-      opt.eps_inv = eps_inv;
-      sim::round_robin_adversary adv;
-      const auto r = sim::run_iterative(opt, adv);
-      const double envelope = bounds::iterative_work_envelope(n, m, eps_inv);
-      t.add_row({fmt_count(n), fmt_count(m), fmt_count(eps_inv),
-                 benchx::yesno(m_in_optimal_range(n, m, eps_inv)),
-                 fmt_count(r.total_work.total()),
-                 fmt_count(static_cast<std::uint64_t>(envelope)),
-                 benchx::ratio(static_cast<double>(r.total_work.total()),
-                               envelope)});
+      cells.push_back(iter_cell(n, m, eps_inv));
     }
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"n", "m", "1/eps", "m in range?", "work", "envelope", "ratio"});
+  for (const exp::run_report& r : result.reports) {
+    const double envelope = bounds::iterative_work_envelope(r.n, r.m, r.eps_inv);
+    t.add_row({fmt_count(r.n), fmt_count(r.m), fmt_count(r.eps_inv),
+               benchx::yesno(m_in_optimal_range(r.n, r.m, r.eps_inv)),
+               fmt_count(r.total_work.total()),
+               fmt_count(static_cast<std::uint64_t>(envelope)),
+               benchx::ratio(static_cast<double>(r.total_work.total()),
+                             envelope)});
   }
   benchx::print_table(t);
 }
@@ -91,29 +102,30 @@ void table_crossover() {
       "E6.3  Work crossover: plain KK_{3m^2} vs IterativeKK(1/2) (m = 8)",
       "claim: the iterated algorithm's per-job work flattens while plain KK's "
       "grows with m lg n lg m");
-  text_table t({"n", "KK work/job", "IterKK work/job", "winner"});
   const usize m = 8;
+  std::vector<exp::run_spec> cells;
   for (const usize n :
        {usize{8192}, usize{32768}, usize{131072}, usize{524288}}) {
-    sim::kk_sim_options kopt;
-    kopt.n = n;
-    kopt.m = m;
-    kopt.beta = 3 * m * m;
-    sim::round_robin_adversary adv1;
-    const auto kk = sim::run_kk<>(kopt, adv1);
+    exp::run_spec kk;
+    kk.algo = exp::algo_family::kk;
+    kk.n = n;
+    kk.m = m;
+    kk.beta = 3 * m * m;
+    kk.adversary = {"round_robin", 1};
+    cells.push_back(std::move(kk));
+    cells.push_back(iter_cell(n, m, 2));
+  }
+  const auto result = exp::sweep(cells);
 
-    sim::iter_sim_options iopt;
-    iopt.n = n;
-    iopt.m = m;
-    iopt.eps_inv = 2;
-    sim::round_robin_adversary adv2;
-    const auto iter = sim::run_iterative(iopt, adv2);
-
+  text_table t({"n", "KK work/job", "IterKK work/job", "winner"});
+  for (usize i = 0; i + 1 < result.reports.size(); i += 2) {
+    const exp::run_report& kk = result.reports[i];
+    const exp::run_report& iter = result.reports[i + 1];
     const double kk_per = static_cast<double>(kk.total_work.total()) /
-                          static_cast<double>(n);
+                          static_cast<double>(kk.n);
     const double it_per = static_cast<double>(iter.total_work.total()) /
-                          static_cast<double>(n);
-    t.add_row({fmt_count(n), fmt(kk_per, 1), fmt(it_per, 1),
+                          static_cast<double>(iter.n);
+    t.add_row({fmt_count(kk.n), fmt(kk_per, 1), fmt(it_per, 1),
                kk_per < it_per ? "KK_beta" : "IterativeKK"});
   }
   benchx::print_table(t);

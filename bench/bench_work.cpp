@@ -3,9 +3,14 @@
 // the measured-work / envelope ratio, which must stay bounded (roughly
 // flat or decreasing) as the axis grows. The stale_view schedule is
 // included as the collision-heavy stressor; round_robin as the fair one.
+// Grids run as exp::run_spec cells on the exp::sweep pool.
+#include <string>
+#include <vector>
+
 #include "analysis/bounds.hpp"
 #include "bench_common.hpp"
-#include "sim/harness.hpp"
+#include "exp/engine.hpp"
+#include "exp/sweep.hpp"
 
 namespace {
 
@@ -13,37 +18,45 @@ using namespace amo;
 
 benchx::json_report g_json;
 
+exp::run_spec work_cell(usize n, usize m, const std::string& adversary) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::kk;
+  s.n = n;
+  s.m = m;
+  s.beta = 3 * m * m;
+  s.adversary = {adversary, 1};
+  return s;
+}
+
 void sweep_n() {
   benchx::print_title(
       "E4.1  Work scaling in n (m = 8, beta = 3m^2 = 192)",
       "claim: work / (n m lg n lg m) stays bounded as n grows");
-  text_table t({"n", "adversary", "work", "envelope", "ratio"});
   const usize m = 8;
+  std::vector<exp::run_spec> cells;
+  std::vector<const char*> labels;
   for (const usize n : {usize{2048}, usize{8192}, usize{32768}, usize{131072}}) {
-    for (const char* which : {"round_robin", "stale_view"}) {
-      sim::kk_sim_options opt;
-      opt.n = n;
-      opt.m = m;
-      opt.beta = 3 * m * m;
-      std::unique_ptr<sim::adversary> adv;
-      if (std::string(which) == "round_robin") {
-        adv = std::make_unique<sim::round_robin_adversary>();
-      } else {
-        adv = std::make_unique<sim::stale_view_adversary>(n * 4);
-      }
-      const auto r = sim::run_kk<>(opt, *adv);
-      const double envelope = bounds::kk_work_envelope(n, m);
-      t.add_row({fmt_count(n), which, fmt_count(r.total_work.total()),
-                 fmt_count(static_cast<std::uint64_t>(envelope)),
-                 benchx::ratio(static_cast<double>(r.total_work.total()),
-                               envelope)});
-      g_json.add({{"experiment", benchx::json_report::str("E4.1_sweep_n")},
-                  {"n", benchx::json_report::num(std::uint64_t{n})},
-                  {"m", benchx::json_report::num(std::uint64_t{m})},
-                  {"adversary", benchx::json_report::str(which)},
-                  {"work", benchx::json_report::num(r.total_work.total())},
-                  {"envelope", benchx::json_report::num(envelope)}});
-    }
+    cells.push_back(work_cell(n, m, "round_robin"));
+    labels.push_back("round_robin");
+    cells.push_back(work_cell(n, m, "stale_view:" + std::to_string(n * 4)));
+    labels.push_back("stale_view");
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"n", "adversary", "work", "envelope", "ratio"});
+  for (usize i = 0; i < result.reports.size(); ++i) {
+    const exp::run_report& r = result.reports[i];
+    const double envelope = bounds::kk_work_envelope(r.n, r.m);
+    t.add_row({fmt_count(r.n), labels[i], fmt_count(r.total_work.total()),
+               fmt_count(static_cast<std::uint64_t>(envelope)),
+               benchx::ratio(static_cast<double>(r.total_work.total()),
+                             envelope)});
+    g_json.add({{"experiment", benchx::json_report::str("E4.1_sweep_n")},
+                {"n", benchx::json_report::num(std::uint64_t{r.n})},
+                {"m", benchx::json_report::num(std::uint64_t{r.m})},
+                {"adversary", benchx::json_report::str(labels[i])},
+                {"work", benchx::json_report::num(r.total_work.total())},
+                {"envelope", benchx::json_report::num(envelope)}});
   }
   benchx::print_table(t);
 }
@@ -52,23 +65,23 @@ void sweep_m() {
   benchx::print_title(
       "E4.2  Work scaling in m (n = 65536, beta = 3m^2)",
       "claim: work / (n m lg n lg m) stays bounded as m grows");
-  text_table t({"m", "beta", "work", "envelope", "ratio", "collisions"});
   const usize n = 65536;
+  std::vector<exp::run_spec> cells;
   for (const usize m : {usize{2}, usize{4}, usize{8}, usize{16}, usize{32}}) {
-    sim::kk_sim_options opt;
-    opt.n = n;
-    opt.m = m;
-    opt.beta = 3 * m * m;
-    sim::round_robin_adversary adv;
-    const auto r = sim::run_kk<>(opt, adv);
-    const double envelope = bounds::kk_work_envelope(n, m);
-    t.add_row({fmt_count(m), fmt_count(3 * m * m), fmt_count(r.total_work.total()),
+    cells.push_back(work_cell(n, m, "round_robin"));
+  }
+  const auto result = exp::sweep(cells);
+
+  text_table t({"m", "beta", "work", "envelope", "ratio", "collisions"});
+  for (const exp::run_report& r : result.reports) {
+    const double envelope = bounds::kk_work_envelope(r.n, r.m);
+    t.add_row({fmt_count(r.m), fmt_count(r.beta), fmt_count(r.total_work.total()),
                fmt_count(static_cast<std::uint64_t>(envelope)),
                benchx::ratio(static_cast<double>(r.total_work.total()), envelope),
                fmt_count(r.total_collisions)});
     g_json.add({{"experiment", benchx::json_report::str("E4.2_sweep_m")},
-                {"n", benchx::json_report::num(std::uint64_t{n})},
-                {"m", benchx::json_report::num(std::uint64_t{m})},
+                {"n", benchx::json_report::num(std::uint64_t{r.n})},
+                {"m", benchx::json_report::num(std::uint64_t{r.m})},
                 {"work", benchx::json_report::num(r.total_work.total())},
                 {"envelope", benchx::json_report::num(envelope)},
                 {"collisions", benchx::json_report::num(
@@ -83,12 +96,7 @@ void decompose() {
       "context: gather passes dominate, as the Theorem 5.6 accounting predicts");
   const usize n = 32768;
   const usize m = 8;
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.beta = 3 * m * m;
-  sim::round_robin_adversary adv;
-  const auto r = sim::run_kk<>(opt, adv);
+  const exp::run_report r = exp::run(work_cell(n, m, "round_robin"));
   text_table t({"component", "count", "share"});
   const double total = static_cast<double>(r.total_work.total());
   t.add_row({"shared reads", fmt_count(r.total_work.shared_reads),

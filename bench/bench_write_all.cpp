@@ -11,6 +11,7 @@
 #include "baselines/tas_executor.hpp"
 #include "baselines/write_all_baselines.hpp"
 #include "bench_common.hpp"
+#include "exp/engine.hpp"
 #include "sim/harness.hpp"
 #include "util/math.hpp"
 
@@ -23,15 +24,18 @@ struct wa_result {
   std::uint64_t work = 0;
 };
 
+// "Ours" runs on the experiment engine; the baselines below drive custom
+// automata through the raw scheduler (they are not one of the engine's
+// algorithm families).
 wa_result run_ours(usize n, usize m, usize f, std::uint64_t seed) {
-  sim::iter_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.eps_inv = 2;
-  opt.write_all = true;
-  opt.crash_budget = f;
-  sim::random_adversary adv(seed, f > 0 ? 1 : 0, 1000);
-  const auto r = sim::run_iterative(opt, adv);
+  exp::run_spec s;
+  s.algo = exp::algo_family::wa_iterative;
+  s.n = n;
+  s.m = m;
+  s.eps_inv = 2;
+  s.crash_budget = f;
+  s.adversary = {f > 0 ? "random+crash:1/1000" : "random+crash:0/1000", seed};
+  const exp::run_report r = exp::run(s);
   return {r.wa_complete, r.total_work.total()};
 }
 

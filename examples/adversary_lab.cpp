@@ -10,29 +10,15 @@
 //   examples:
 //     ./adversary_lab 10000 8 8 announce_crash 7    # Theorem 4.4's tight case
 //     ./adversary_lab 10000 8 192 stale_view        # collision stress
+//
+// Adversary names are resolved by the experiment engine, so parameterized
+// forms work too: random+crash:1/100, block:16, stale_view:40000, and even
+// replay:<trace>. (amo_lab is the full-featured sibling of this example.)
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <memory>
 
 #include "analysis/bounds.hpp"
-#include "sim/harness.hpp"
-
-namespace {
-
-std::unique_ptr<amo::sim::adversary> make_adversary(const char* name,
-                                                    std::uint64_t seed) {
-  using namespace amo::sim;
-  if (std::strcmp(name, "announce_crash") == 0) {
-    return std::make_unique<announce_crash_adversary>();
-  }
-  for (const auto& f : standard_adversaries()) {
-    if (std::strcmp(name, f.label) == 0) return f.make(seed);
-  }
-  return nullptr;
-}
-
-}  // namespace
+#include "exp/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace amo;
@@ -43,32 +29,34 @@ int main(int argc, char** argv) {
   const usize crashes = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : m - 1;
   const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
 
-  auto adv = make_adversary(adv_name, seed);
-  if (!adv) {
-    std::fprintf(stderr, "unknown adversary '%s'\n", adv_name);
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.n = n;
+  spec.m = m;
+  spec.beta = beta;
+  spec.crash_budget = crashes;
+  spec.adversary = {adv_name, seed};
+
+  exp::run_report r;
+  try {
+    r = exp::run(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.beta = beta;
-  opt.crash_budget = crashes;
-  const auto r = sim::run_kk<>(opt, *adv);
-
   std::printf("execution: n=%zu m=%zu beta=%zu adversary=%s f<=%zu seed=%llu\n",
-              n, m, r.beta, adv->name(), crashes,
+              n, m, r.beta, r.adversary.c_str(), crashes,
               static_cast<unsigned long long>(seed));
   std::printf("------------------------------------------------------------\n");
   std::printf("quiescent          : %s (%zu actions, %zu crashes)\n",
-              r.sched.quiescent ? "yes" : "NO", r.sched.total_steps,
-              r.sched.crashes);
+              r.quiescent ? "yes" : "NO", r.total_steps, r.crashes);
   std::printf("at-most-once       : %s\n", r.at_most_once ? "yes" : "VIOLATED");
   std::printf("jobs performed     : %zu\n", r.effectiveness);
   std::printf("  Theorem 4.4 floor: %zu   (n-(beta+m-2))\n",
               bounds::kk_effectiveness(n, m, r.beta));
   std::printf("  Theorem 2.1 ceil : %zu   (n-f)\n",
-              bounds::effectiveness_upper(n, r.sched.crashes));
+              bounds::effectiveness_upper(n, r.crashes));
   std::printf("work (basic ops)   : %llu\n",
               static_cast<unsigned long long>(r.total_work.total()));
   std::printf("  shared reads     : %llu\n",

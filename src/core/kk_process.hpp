@@ -40,6 +40,8 @@ struct kk_stats {
   usize comp_nexts = 0;      ///< compNext actions
   usize collisions_try = 0;  ///< check failed because NEXT in TRY
   usize collisions_done = 0; ///< check failed because NEXT in DONE
+
+  friend bool operator==(const kk_stats&, const kk_stats&) = default;
 };
 
 template <class M, rank_set FS = bitset_rank_set>

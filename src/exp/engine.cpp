@@ -1,0 +1,423 @@
+#include "exp/engine.hpp"
+
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "analysis/amo_checker.hpp"
+#include "analysis/collision_ledger.hpp"
+#include "core/iterative_kk.hpp"
+#include "core/wa_iterative_kk.hpp"
+#include "mem/atomic_memory.hpp"
+#include "mem/sim_memory.hpp"
+#include "rt/crash_injection.hpp"
+#include "sets/fenwick_rank_set.hpp"
+#include "sets/ostree.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stopwatch.hpp"
+
+namespace amo::exp {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument("exp::run: " + why);
+}
+
+void echo_spec(run_report& rep, const run_spec& s) {
+  rep.label = s.label;
+  rep.algo = s.algo;
+  rep.driver = s.driver;
+  rep.memory = s.memory;
+  rep.free_set = s.free_set;
+  rep.n = s.n;
+  rep.m = s.m;
+  rep.beta = s.beta == 0 ? s.m : s.beta;
+  rep.eps_inv = s.eps_inv;
+  rep.crash_budget = s.crash_budget;
+}
+
+void harvest_checker(run_report& rep, const amo_checker& checker) {
+  rep.effectiveness = checker.distinct();
+  rep.perform_events = checker.total_events();
+  rep.at_most_once = checker.ok();
+  rep.duplicate = checker.first_duplicate();
+}
+
+/// Aggregates KK_beta per-process tallies; shared by every memory backend
+/// and driver, which is exactly the duplication the legacy harnesses had.
+template <class Proc>
+void harvest_kk(run_report& rep, const std::vector<std::unique_ptr<Proc>>& procs) {
+  usize stopped = 0;
+  for (const auto& p : procs) {
+    rep.per_process.push_back(p->stats());
+    rep.total_work += p->stats().work;
+    rep.total_collisions +=
+        p->stats().collisions_try + p->stats().collisions_done;
+    if (p->status() == kk_status::end) ++rep.terminated;
+    if (p->status() == kk_status::stop) ++stopped;
+  }
+  rep.crashes = stopped;
+}
+
+template <class Proc>
+void harvest_iter(run_report& rep, const std::vector<std::unique_ptr<Proc>>& procs) {
+  usize stopped = 0;
+  for (const auto& p : procs) {
+    rep.total_work += p->stats().work;
+    rep.total_collisions += p->stats().collisions;
+    if (p->finished()) ++rep.terminated;
+    if (!p->runnable() && !p->finished()) ++stopped;
+  }
+  rep.crashes = stopped;
+}
+
+rt::crash_plan to_crash_plan(const crash_spec& c) {
+  switch (c.what) {
+    case crash_spec::kind::none: return {};
+    case crash_spec::kind::after_actions:
+      return rt::crash_plan::after_actions(c.per_thread);
+    case crash_spec::kind::after_first_announce:
+      return rt::crash_plan::after_first_announce(c.count);
+  }
+  return {};
+}
+
+/// The one OS-thread loop: each thread drives its automaton to completion,
+/// checking the crash plan at every action boundary.
+template <class Proc>
+void drive_threads(std::vector<std::unique_ptr<Proc>>& procs,
+                   const rt::crash_plan& plan) {
+  std::vector<std::jthread> threads;
+  threads.reserve(procs.size());
+  for (process_id pid = 1; pid <= procs.size(); ++pid) {
+    Proc* proc = procs[pid - 1].get();
+    threads.emplace_back([proc, pid, &plan] {
+      while (proc->runnable()) {
+        if (plan.should_crash(pid, *proc)) {
+          proc->crash();
+          break;
+        }
+        proc->step();
+      }
+    });
+  }  // jthreads join on scope exit
+}
+
+/// Runs a vector of automata under the scheduled driver and records the
+/// liveness outcome.
+void drive_scheduled(run_report& rep, std::vector<automaton*> handles,
+                     sim::adversary& adv, usize crash_budget, usize limit) {
+  sim::scheduler sched(std::move(handles));
+  const sim::run_result res = sched.run(adv, crash_budget, limit);
+  rep.total_steps = res.total_steps;
+  rep.quiescent = res.quiescent;
+  // rep.crashes is recomputed from process status by the harvest helpers
+  // (identical to res.crashes; kept in one place).
+}
+
+template <class M, rank_set FS>
+std::vector<std::unique_ptr<kk_process<M, FS>>> build_kk_procs(
+    M& mem, const run_spec& s, amo_checker& checker, collision_ledger* ledger,
+    const run_hooks* hooks) {
+  std::vector<std::unique_ptr<kk_process<M, FS>>> procs;
+  procs.reserve(s.m);
+  for (process_id pid = 1; pid <= s.m; ++pid) {
+    kk_config cfg;
+    cfg.pid = pid;
+    cfg.num_processes = s.m;
+    cfg.beta = s.beta;
+    cfg.mode = kk_mode::plain;
+    cfg.rule = s.rule;
+    kk_hooks kh;
+    kh.on_perform = [&checker, hooks](process_id p, job_id j) {
+      checker.record(p, j);
+      if (hooks != nullptr && hooks->on_perform) hooks->on_perform(p, j);
+    };
+    if (ledger != nullptr) {
+      kh.on_collision = [ledger, &checker](process_id p, job_id j,
+                                           process_id announcer, bool via_done) {
+        ledger->record(p, j, announcer, via_done, checker);
+      };
+    }
+    procs.push_back(
+        std::make_unique<kk_process<M, FS>>(mem, cfg, nullptr, std::move(kh)));
+  }
+  return procs;
+}
+
+template <class M, rank_set FS>
+void run_kk_impl(const run_spec& s, sim::adversary* adv, const run_hooks* hooks,
+                 run_report& rep) {
+  M mem(s.m, s.n);
+  amo_checker checker(s.n);
+  // The collision ledger is scheduled-driver only: it is not thread-safe,
+  // and under real threads the interleaving is not reproducible anyway.
+  const bool want_ledger = s.driver == driver_kind::scheduled;
+  collision_ledger ledger(want_ledger ? s.m : 1, want_ledger ? s.n : 1);
+  auto procs = build_kk_procs<M, FS>(mem, s, checker,
+                                     want_ledger ? &ledger : nullptr, hooks);
+
+  stopwatch clock;
+  if (s.driver == driver_kind::scheduled) {
+    std::vector<automaton*> handles;
+    handles.reserve(procs.size());
+    for (const auto& p : procs) handles.push_back(p.get());
+    const usize limit =
+        s.max_steps == 0 ? sim::default_step_limit(s.n, s.m) : s.max_steps;
+    drive_scheduled(rep, std::move(handles), *adv, s.crash_budget, limit);
+  } else {
+    const rt::crash_plan plan = to_crash_plan(s.crashes);
+    drive_threads(procs, plan);
+  }
+  rep.wall_seconds = clock.seconds();
+
+  harvest_checker(rep, checker);
+  harvest_kk(rep, procs);
+  if (s.driver == driver_kind::os_threads) {
+    rep.total_steps = rep.total_work.actions;
+  }
+  if (want_ledger) rep.worst_pair_ratio = ledger.worst_pair_ratio();
+}
+
+template <class M>
+void run_iter_impl(const run_spec& s, sim::adversary* adv,
+                   const run_hooks* hooks, run_report& rep) {
+  const bool write_all = s.algo == algo_family::wa_iterative;
+  iterative_shared<M> shared(make_iterative_plan(s.n, s.m, s.eps_inv));
+  rep.num_levels = shared.plan.levels.size();
+  rep.beta = shared.plan.beta;
+
+  amo_checker checker(s.n);
+  write_all_array wa(write_all ? s.n : 1);
+
+  std::vector<std::unique_ptr<iterative_process<M>>> procs;
+  procs.reserve(s.m);
+  for (process_id pid = 1; pid <= s.m; ++pid) {
+    typename iterative_process<M>::perform_fn fn;
+    if (write_all) {
+      fn = [&wa, hooks, pid](job_id j) {
+        wa.set(j);
+        if (hooks != nullptr && hooks->on_perform) hooks->on_perform(pid, j);
+      };
+    } else {
+      fn = [&checker, hooks, pid](job_id j) {
+        checker.record(pid, j);
+        if (hooks != nullptr && hooks->on_perform) hooks->on_perform(pid, j);
+      };
+    }
+    procs.push_back(std::make_unique<iterative_process<M>>(
+        shared, pid, write_all, std::move(fn)));
+  }
+
+  stopwatch clock;
+  if (s.driver == driver_kind::scheduled) {
+    std::vector<automaton*> handles;
+    handles.reserve(procs.size());
+    for (const auto& p : procs) handles.push_back(p.get());
+    // The iterated algorithm runs 3 + 1/eps levels; scale the default limit.
+    const usize limit = s.max_steps == 0
+                            ? sim::default_step_limit(s.n, s.m) *
+                                  (shared.plan.levels.size() + 1)
+                            : s.max_steps;
+    drive_scheduled(rep, std::move(handles), *adv, s.crash_budget, limit);
+  } else {
+    const rt::crash_plan plan = to_crash_plan(s.crashes);
+    drive_threads(procs, plan);
+  }
+  rep.wall_seconds = clock.seconds();
+
+  harvest_checker(rep, checker);
+  harvest_iter(rep, procs);
+  if (s.driver == driver_kind::os_threads) {
+    rep.total_steps = rep.total_work.actions;
+  }
+  if (write_all) {
+    rep.wa_written = wa.count_set();
+    rep.wa_complete = wa.complete();
+    rep.effectiveness = rep.wa_written;
+  }
+}
+
+run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
+  if (s.n == 0 || s.m == 0) {
+    // Degenerate universes run to (vacuous) quiescence immediately; the
+    // legacy entry points accepted them, so the engine does too.
+    run_report rep;
+    echo_spec(rep, s);
+    rep.adversary = s.adversary.name;
+    rep.seed = s.adversary.seed;
+    rep.wa_complete = s.algo == algo_family::wa_iterative;
+    return rep;
+  }
+  if (s.driver == driver_kind::os_threads) {
+    s.memory = memory_kind::atomic;  // sim_memory is not thread-safe
+  }
+  if (s.free_set != free_set_kind::bitset &&
+      !(s.algo == algo_family::kk && s.memory == memory_kind::sim)) {
+    bad_spec("fenwick/ostree free sets are supported for kk over sim memory only");
+  }
+
+  run_report rep;
+  echo_spec(rep, s);
+
+  // Scheduled driver: resolve the adversary, optionally wrapped to record.
+  std::unique_ptr<sim::adversary> owned;
+  std::unique_ptr<sim::recording_adversary> recorder;
+  sim::trace recorded;
+  if (s.driver == driver_kind::scheduled) {
+    if (adv == nullptr) {
+      owned = make_adversary(s.adversary);
+      if (!owned) bad_spec("unknown adversary '" + s.adversary.name + "'");
+      adv = owned.get();
+      // For scripted:/replay: specs echo only the prefix — the embedded
+      // trace can run to megabytes and is reproducible from the spec.
+      // Parameterized names (block:16, ...) are echoed verbatim: the
+      // parameters ARE the identity.
+      if (std::string_view(s.adversary.name).starts_with("scripted:") ||
+          std::string_view(s.adversary.name).starts_with("replay:")) {
+        rep.adversary = s.adversary.name.substr(0, s.adversary.name.find(':'));
+      } else {
+        rep.adversary = s.adversary.name;
+      }
+      rep.seed = s.adversary.seed;
+    } else {
+      rep.adversary = adv->name();
+    }
+    if (s.record_trace) {
+      recorder = std::make_unique<sim::recording_adversary>(*adv, recorded);
+      adv = recorder.get();
+    }
+  }
+
+  switch (s.algo) {
+    case algo_family::kk:
+      if (s.memory == memory_kind::sim) {
+        switch (s.free_set) {
+          case free_set_kind::bitset:
+            run_kk_impl<sim_memory, bitset_rank_set>(s, adv, hooks, rep);
+            break;
+          case free_set_kind::fenwick:
+            run_kk_impl<sim_memory, fenwick_rank_set>(s, adv, hooks, rep);
+            break;
+          case free_set_kind::ostree:
+            run_kk_impl<sim_memory, ostree>(s, adv, hooks, rep);
+            break;
+        }
+      } else {
+        run_kk_impl<atomic_memory, bitset_rank_set>(s, adv, hooks, rep);
+      }
+      break;
+    case algo_family::iterative:
+    case algo_family::wa_iterative:
+      if (s.memory == memory_kind::sim) {
+        run_iter_impl<sim_memory>(s, adv, hooks, rep);
+      } else {
+        run_iter_impl<atomic_memory>(s, adv, hooks, rep);
+      }
+      break;
+  }
+
+  if (s.record_trace) rep.trace = std::move(recorded);
+  return rep;
+}
+
+}  // namespace
+
+namespace {
+
+/// Parses the "N" of "prefix:N"; false when absent, malformed or > 2^64-1.
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<sim::adversary> make_adversary(const adversary_spec& spec) {
+  const std::string& name = spec.name;
+  if (name == "announce_crash") {
+    return std::make_unique<sim::announce_crash_adversary>();
+  }
+  // Parameterized families: random+crash:<num>/<den>, block:<quantum>,
+  // stale_view:<leader_actions>.
+  const std::string_view sv = name;
+  if (sv.starts_with("random+crash:")) {
+    const std::string_view rest = sv.substr(13);
+    const usize slash = rest.find('/');
+    std::uint64_t num = 0;
+    std::uint64_t den = 0;
+    if (slash == std::string_view::npos || !parse_u64(rest.substr(0, slash), num) ||
+        !parse_u64(rest.substr(slash + 1), den) || den == 0) {
+      return nullptr;
+    }
+    return std::make_unique<sim::random_adversary>(spec.seed, num, den);
+  }
+  if (sv.starts_with("block:")) {
+    std::uint64_t quantum = 0;
+    if (!parse_u64(sv.substr(6), quantum)) return nullptr;
+    return std::make_unique<sim::block_adversary>(spec.seed, quantum);
+  }
+  if (sv.starts_with("stale_view:")) {
+    std::uint64_t leader = 0;
+    if (!parse_u64(sv.substr(11), leader)) return nullptr;
+    return std::make_unique<sim::stale_view_adversary>(leader);
+  }
+  constexpr std::string_view kScripted = "scripted:";
+  constexpr std::string_view kReplay = "replay:";
+  if (name.starts_with(kScripted)) {
+    sim::trace t;
+    if (!sim::trace::parse(std::string_view(name).substr(kScripted.size()), t)) {
+      return nullptr;
+    }
+    std::vector<sim::scripted_adversary::entry> script;
+    script.reserve(t.size());
+    for (const sim::trace_event& e : t.events()) {
+      script.push_back({e.pid, e.what == sim::decision::kind::crash});
+    }
+    return std::make_unique<sim::scripted_adversary>(std::move(script));
+  }
+  if (name.starts_with(kReplay)) {
+    sim::trace t;
+    if (!sim::trace::parse(std::string_view(name).substr(kReplay.size()), t)) {
+      return nullptr;
+    }
+    return std::make_unique<sim::replay_adversary>(std::move(t));
+  }
+  for (const sim::adversary_factory& f : sim::standard_adversaries()) {
+    if (name == f.label) return f.make(spec.seed);
+  }
+  return nullptr;
+}
+
+run_report run(const run_spec& spec) { return run_impl(spec, nullptr, nullptr); }
+
+run_report run(const run_spec& spec, const run_hooks& hooks) {
+  return run_impl(spec, nullptr, &hooks);
+}
+
+run_report run(const run_spec& spec, sim::adversary& adv) {
+  return run_impl(spec, &adv, nullptr);
+}
+
+run_report run(const run_spec& spec, sim::adversary& adv, const run_hooks& hooks) {
+  return run_impl(spec, &adv, &hooks);
+}
+
+run_report replay(const run_spec& spec, const sim::trace& t) {
+  run_spec s = spec;
+  s.record_trace = true;
+  sim::replay_adversary adv(t);
+  return run(s, adv);
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,210 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/engine.hpp"
+#include "sim/adversary.hpp"
+
+namespace amo::exp {
+
+namespace {
+
+std::vector<run_spec> seed_replicas(run_spec cell, const scenario_params& p) {
+  std::vector<run_spec> cells;
+  const usize replicas = std::max<usize>(1, p.seeds);
+  cells.reserve(replicas);
+  for (usize i = 0; i < replicas; ++i) {
+    cell.adversary.seed = p.seed + i;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+run_spec base_spec(const scenario_params& p, algo_family algo,
+                   std::string label) {
+  run_spec s;
+  s.label = std::move(label);
+  s.algo = algo;
+  s.n = p.n;
+  s.m = p.m;
+  s.beta = p.beta;
+  s.eps_inv = p.eps_inv;
+  return s;
+}
+
+scenario adversary_scenario(const char* adv_label) {
+  const std::string name = std::string("kk/") + adv_label;
+  const std::string adv = adv_label;
+  return {
+      name,
+      std::string("plain KK_beta under the '") + adv + "' schedule",
+      [name, adv](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::kk, name);
+        s.adversary.name = adv;
+        if (adv == "random+crash") s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+        return seed_replicas(std::move(s), p);
+      },
+  };
+}
+
+std::vector<scenario> build_registry() {
+  std::vector<scenario> reg;
+
+  // One scenario per standard adversary family.
+  for (const sim::adversary_factory& f : sim::standard_adversaries()) {
+    reg.push_back(adversary_scenario(f.label));
+  }
+
+  // The Theorem 4.4 worst case, with its required crash budget f = m-1:
+  // effectiveness must land exactly on n - (beta + m - 2).
+  reg.push_back({
+      "kk/announce_crash",
+      "Theorem 4.4 tight adversary: crash 1..m-1 after first announce",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::kk, "kk/announce_crash");
+        s.adversary.name = "announce_crash";
+        s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+        // The adversary is deterministic; one cell regardless of p.seeds.
+        s.adversary.seed = p.seed;
+        return std::vector<run_spec>{std::move(s)};
+      },
+  });
+
+  // Record a random execution, then replay its trace: the cells ARE replay
+  // specs, so standard sweeps continuously exercise the trace machinery.
+  reg.push_back({
+      "kk/trace_replay",
+      "replay of a recorded random-schedule trace (determinism check)",
+      [](const scenario_params& p) {
+        scenario_params small = p;
+        small.n = std::min<usize>(p.n, 1024);  // traces grow with n*m
+        run_spec rec = base_spec(small, algo_family::kk, "kk/trace_replay");
+        rec.adversary = {"random", p.seed};
+        rec.record_trace = true;
+        const run_report recorded = run(rec);
+        run_spec cell = rec;
+        cell.record_trace = false;
+        cell.adversary.name = "replay:" + recorded.trace.serialize();
+        return std::vector<run_spec>{std::move(cell)};
+      },
+  });
+
+  reg.push_back({
+      "iterative/round_robin",
+      "IterativeKK(eps) under fair rotation",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::iterative, "iterative/round_robin");
+        s.adversary.name = "round_robin";
+        return seed_replicas(std::move(s), p);
+      },
+  });
+  reg.push_back({
+      "iterative/random+crash",
+      "IterativeKK(eps) under random schedule with f = m-1 crashes",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::iterative, "iterative/random+crash");
+        s.adversary.name = "random+crash";
+        s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+        return seed_replicas(std::move(s), p);
+      },
+  });
+
+  reg.push_back({
+      "wa/round_robin",
+      "WA_IterativeKK(eps) Write-All under fair rotation",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::wa_iterative, "wa/round_robin");
+        s.adversary.name = "round_robin";
+        return seed_replicas(std::move(s), p);
+      },
+  });
+  reg.push_back({
+      "wa/random+crash",
+      "WA_IterativeKK(eps) Write-All under crashes (completes iff a survivor)",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::wa_iterative, "wa/random+crash");
+        s.adversary.name = "random+crash";
+        s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+        return seed_replicas(std::move(s), p);
+      },
+  });
+
+  // Real-thread runtime: hardware supplies the interleaving, so these cells
+  // are not bit-reproducible — they validate safety, not determinism.
+  reg.push_back({
+      "threads/kk",
+      "plain KK_beta on m OS threads over atomic registers",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::kk, "threads/kk");
+        s.driver = driver_kind::os_threads;
+        return std::vector<run_spec>{std::move(s)};
+      },
+  });
+  reg.push_back({
+      "threads/kk_crash",
+      "KK_beta on OS threads, threads 1..m-1 crash after first announce",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::kk, "threads/kk_crash");
+        s.driver = driver_kind::os_threads;
+        s.crashes.what = crash_spec::kind::after_first_announce;
+        s.crashes.count = p.m > 0 ? p.m - 1 : 0;
+        return std::vector<run_spec>{std::move(s)};
+      },
+  });
+  reg.push_back({
+      "threads/iterative",
+      "IterativeKK(eps) on m OS threads",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::iterative, "threads/iterative");
+        s.driver = driver_kind::os_threads;
+        return std::vector<run_spec>{std::move(s)};
+      },
+  });
+  reg.push_back({
+      "threads/wa",
+      "WA_IterativeKK(eps) Write-All on m OS threads",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::wa_iterative, "threads/wa");
+        s.driver = driver_kind::os_threads;
+        return std::vector<run_spec>{std::move(s)};
+      },
+  });
+
+  return reg;
+}
+
+}  // namespace
+
+std::span<const scenario> scenario_registry() {
+  static const std::vector<scenario> registry = build_registry();
+  return registry;
+}
+
+const scenario* find_scenario(std::string_view name) {
+  for (const scenario& s : scenario_registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<run_spec> scenario_cells(std::string_view name,
+                                     const scenario_params& params) {
+  const scenario* s = find_scenario(name);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown scenario '" + std::string(name) + "'");
+  }
+  return s->make_cells(params);
+}
+
+std::vector<run_spec> all_scenario_cells(const scenario_params& params) {
+  std::vector<run_spec> cells;
+  for (const scenario& s : scenario_registry()) {
+    std::vector<run_spec> c = s.make_cells(params);
+    cells.insert(cells.end(), std::make_move_iterator(c.begin()),
+                 std::make_move_iterator(c.end()));
+  }
+  return cells;
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,123 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+
+namespace amo::exp {
+
+std::string json_writer::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_writer::str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void json_writer::add_row(const std::pair<std::string, std::string>* fields,
+                          usize count) {
+  std::string row = "  {";
+  for (usize i = 0; i < count; ++i) {
+    if (i != 0) row += ", ";
+    row += str(fields[i].first) + ": " + fields[i].second;
+  }
+  row += "}";
+  rows_.push_back(std::move(row));
+}
+
+void json_writer::add(
+    std::initializer_list<std::pair<std::string, std::string>> fields) {
+  add_row(fields.begin(), fields.size());
+}
+
+void json_writer::add(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  add_row(fields.data(), fields.size());
+}
+
+std::string json_writer::dump() const {
+  std::string out = "[\n";
+  for (usize i = 0; i < rows_.size(); ++i) {
+    out += rows_[i];
+    out += i + 1 < rows_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool json_writer::write(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const std::string doc = dump();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::vector<std::pair<std::string, std::string>> report_fields(
+    const run_report& r, bool include_timing) {
+  using W = json_writer;
+  std::vector<std::pair<std::string, std::string>> f;
+  f.reserve(32);
+  f.emplace_back("scenario", W::str(r.label));
+  f.emplace_back("algo", W::str(to_string(r.algo)));
+  f.emplace_back("driver", W::str(to_string(r.driver)));
+  f.emplace_back("memory", W::str(to_string(r.memory)));
+  f.emplace_back("free_set", W::str(to_string(r.free_set)));
+  f.emplace_back("adversary", W::str(r.adversary));
+  f.emplace_back("seed", W::num(std::uint64_t{r.seed}));
+  f.emplace_back("n", W::num(std::uint64_t{r.n}));
+  f.emplace_back("m", W::num(std::uint64_t{r.m}));
+  f.emplace_back("beta", W::num(std::uint64_t{r.beta}));
+  f.emplace_back("eps_inv", W::num(std::uint64_t{r.eps_inv}));
+  f.emplace_back("crash_budget", W::num(std::uint64_t{r.crash_budget}));
+  f.emplace_back("steps", W::num(std::uint64_t{r.total_steps}));
+  f.emplace_back("crashes", W::num(std::uint64_t{r.crashes}));
+  f.emplace_back("quiescent", W::boolean(r.quiescent));
+  f.emplace_back("terminated", W::num(std::uint64_t{r.terminated}));
+  f.emplace_back("effectiveness", W::num(std::uint64_t{r.effectiveness}));
+  f.emplace_back("perform_events", W::num(std::uint64_t{r.perform_events}));
+  f.emplace_back("at_most_once", W::boolean(r.at_most_once));
+  f.emplace_back("duplicate", W::num(std::uint64_t{r.duplicate}));
+  f.emplace_back("shared_reads", W::num(r.total_work.shared_reads));
+  f.emplace_back("shared_writes", W::num(r.total_work.shared_writes));
+  f.emplace_back("local_ops", W::num(r.total_work.local_ops));
+  f.emplace_back("actions", W::num(r.total_work.actions));
+  f.emplace_back("work", W::num(r.total_work.total()));
+  f.emplace_back("collisions", W::num(std::uint64_t{r.total_collisions}));
+  f.emplace_back("worst_pair_ratio", W::num(r.worst_pair_ratio));
+  f.emplace_back("num_levels", W::num(std::uint64_t{r.num_levels}));
+  f.emplace_back("wa_complete", W::boolean(r.wa_complete));
+  f.emplace_back("wa_written", W::num(std::uint64_t{r.wa_written}));
+  f.emplace_back("trace_events", W::num(std::uint64_t{r.trace.size()}));
+  if (include_timing) f.emplace_back("wall_seconds", W::num(r.wall_seconds));
+  return f;
+}
+
+void add_reports(json_writer& out, const std::vector<run_report>& reports,
+                 bool include_timing) {
+  for (const run_report& r : reports) {
+    out.add(report_fields(r, include_timing));
+  }
+}
+
+}  // namespace amo::exp

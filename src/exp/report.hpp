@@ -1,0 +1,60 @@
+// The one JSON emitter every bench, test and the amo_lab CLI share.
+//
+// json_writer replaces the per-bench benchx::json_report copies; unlike its
+// predecessor, str() escapes the full set JSON requires — quote, backslash,
+// and every control character below 0x20 (\n, \t, \r named; the rest as
+// \u00XX) — so a label can never produce an unparseable file.
+//
+// add_report() maps a run_report onto the unified record schema (documented
+// in README.md and emitted by amo_lab); `include_timing = false` drops the
+// wall-clock field, which is what makes sweep output byte-comparable across
+// pool sizes.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace amo::exp {
+
+/// Accumulates flat {string: value} records and renders them as a JSON
+/// array. Values are passed pre-encoded via num()/str()/boolean().
+class json_writer {
+ public:
+  static std::string num(double v);
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string str(const std::string& s);
+  static std::string boolean(bool b) { return b ? "true" : "false"; }
+
+  void add(std::initializer_list<std::pair<std::string, std::string>> fields);
+  void add(const std::vector<std::pair<std::string, std::string>>& fields);
+
+  /// The full `[ {...}, ... ]` document, newline-terminated.
+  [[nodiscard]] std::string dump() const;
+
+  /// Writes dump() to `path`; returns false on I/O failure.
+  bool write(const char* path) const;
+
+  [[nodiscard]] usize size() const { return rows_.size(); }
+
+ private:
+  void add_row(const std::pair<std::string, std::string>* fields, usize count);
+
+  std::vector<std::string> rows_;
+};
+
+/// The unified record for one run_report, in schema order. Every amo_lab /
+/// bench record uses exactly these fields (prefixed by any caller-supplied
+/// extras), so downstream tooling parses one shape.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> report_fields(
+    const run_report& r, bool include_timing = true);
+
+/// Appends one record per report. `include_timing = false` omits
+/// wall_seconds so identical executions dump identical bytes.
+void add_reports(json_writer& out, const std::vector<run_report>& reports,
+                 bool include_timing = true);
+
+}  // namespace amo::exp

@@ -1,0 +1,58 @@
+#include "exp/spec.hpp"
+
+namespace amo::exp {
+
+const char* to_string(algo_family f) {
+  switch (f) {
+    case algo_family::kk: return "kk";
+    case algo_family::iterative: return "iterative";
+    case algo_family::wa_iterative: return "wa_iterative";
+  }
+  return "?";
+}
+
+const char* to_string(driver_kind d) {
+  switch (d) {
+    case driver_kind::scheduled: return "scheduled";
+    case driver_kind::os_threads: return "os_threads";
+  }
+  return "?";
+}
+
+const char* to_string(memory_kind m) {
+  switch (m) {
+    case memory_kind::sim: return "sim";
+    case memory_kind::atomic: return "atomic";
+  }
+  return "?";
+}
+
+const char* to_string(free_set_kind f) {
+  switch (f) {
+    case free_set_kind::bitset: return "bitset";
+    case free_set_kind::fenwick: return "fenwick";
+    case free_set_kind::ostree: return "ostree";
+  }
+  return "?";
+}
+
+bool equivalent(const run_report& a, const run_report& b) {
+  // Everything deterministic; label/adversary/seed are identity not outcome
+  // (a replay reproduces the execution under a different adversary name),
+  // and wall_seconds / trace are excluded by contract.
+  return a.algo == b.algo && a.driver == b.driver && a.memory == b.memory &&
+         a.free_set == b.free_set && a.n == b.n && a.m == b.m &&
+         a.beta == b.beta && a.eps_inv == b.eps_inv &&
+         a.crash_budget == b.crash_budget && a.total_steps == b.total_steps &&
+         a.crashes == b.crashes && a.quiescent == b.quiescent &&
+         a.terminated == b.terminated && a.effectiveness == b.effectiveness &&
+         a.perform_events == b.perform_events &&
+         a.at_most_once == b.at_most_once && a.duplicate == b.duplicate &&
+         a.total_work == b.total_work && a.per_process == b.per_process &&
+         a.total_collisions == b.total_collisions &&
+         a.worst_pair_ratio == b.worst_pair_ratio &&
+         a.num_levels == b.num_levels && a.wa_complete == b.wa_complete &&
+         a.wa_written == b.wa_written;
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,156 @@
+// The experiment engine's vocabulary: one `run_spec` describes any single
+// execution the repository knows how to produce — algorithm family (KK_beta,
+// IterativeKK, WA_IterativeKK) × memory backend (simulated registers vs
+// std::atomic) × driver (adversary-scheduled single thread vs real OS
+// threads) — and one `run_report` subsumes what the four legacy report
+// structs (`kk_sim_report`, `iter_sim_report`, `thread_run_report`,
+// `iter_thread_report`) used to carry separately.
+//
+// A spec is a plain value: copyable, comparable-by-field, and sufficient to
+// reproduce the execution bit-for-bit when the driver is `scheduled` (all
+// randomness flows through adversary seeds). That property is what lets
+// exp::sweep run cells on a thread pool in any order and still produce
+// byte-identical results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kk_process.hpp"
+#include "sim/trace.hpp"
+#include "util/op_counter.hpp"
+#include "util/types.hpp"
+
+namespace amo::exp {
+
+/// Which of the paper's algorithms the run executes.
+enum class algo_family : std::uint8_t {
+  kk,            ///< plain KK_beta (Sections 3-5)
+  iterative,     ///< IterativeKK(eps) (Section 6)
+  wa_iterative,  ///< WA_IterativeKK(eps) — Write-All (Section 7)
+};
+
+/// What supplies the interleaving.
+enum class driver_kind : std::uint8_t {
+  scheduled,   ///< the Section 2.1 omniscient adversary over a simulator
+  os_threads,  ///< m real threads; hardware supplies the adversary
+};
+
+/// The shared-register implementation.
+enum class memory_kind : std::uint8_t {
+  sim,     ///< sim_memory (single-threaded, scheduled driver only)
+  atomic,  ///< atomic_memory (seq_cst std::atomic registers)
+};
+
+/// FREE-set representation (the E10 ablation axis; kk family only).
+enum class free_set_kind : std::uint8_t { bitset, fenwick, ostree };
+
+[[nodiscard]] const char* to_string(algo_family f);
+[[nodiscard]] const char* to_string(driver_kind d);
+[[nodiscard]] const char* to_string(memory_kind m);
+[[nodiscard]] const char* to_string(free_set_kind f);
+
+/// Names an adversary the engine can construct on demand (scheduled driver).
+/// Recognized names: every standard_adversaries() label (round_robin,
+/// random, random+crash, block4, block64, stale_view), announce_crash, the
+/// parameterized forms "random+crash:<num>/<den>", "block:<quantum>" and
+/// "stale_view:<leader_actions>", and the prefixed forms
+/// "scripted:<trace>" / "replay:<trace>" where <trace> is the sim::trace
+/// serialization ("s3 s1 c2 ...").
+struct adversary_spec {
+  std::string name = "round_robin";
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const adversary_spec&, const adversary_spec&) = default;
+};
+
+/// Deterministic crash points for the os_threads driver (mirrors
+/// rt::crash_plan, as a plain value so specs stay copyable/comparable).
+struct crash_spec {
+  enum class kind : std::uint8_t { none, after_actions, after_first_announce };
+  kind what = kind::none;
+  std::vector<usize> per_thread;  ///< after_actions: 0 = never crash
+  usize count = 0;                ///< after_first_announce: threads 1..count
+
+  friend bool operator==(const crash_spec&, const crash_spec&) = default;
+};
+
+/// The complete description of one execution.
+struct run_spec {
+  std::string label;  ///< free-form tag echoed into reports/JSON
+
+  algo_family algo = algo_family::kk;
+  driver_kind driver = driver_kind::scheduled;
+  /// Defaulted per driver when left at `sim` with os_threads: the engine
+  /// coerces os_threads runs to atomic (sim_memory is not thread-safe).
+  memory_kind memory = memory_kind::sim;
+  free_set_kind free_set = free_set_kind::bitset;
+
+  usize n = 0;             ///< jobs 1..n
+  usize m = 1;             ///< processes/threads
+  usize beta = 0;          ///< kk family; 0 means beta = m
+  unsigned eps_inv = 1;    ///< iterative families: 1/eps
+  selection_rule rule = selection_rule::paper_rank;
+  usize crash_budget = 0;  ///< scheduled driver: the paper's f
+  usize max_steps = 0;     ///< scheduled driver: 0 = default_step_limit
+
+  adversary_spec adversary;  ///< scheduled driver
+  crash_spec crashes;        ///< os_threads driver
+  bool record_trace = false; ///< scheduled driver: capture the decision trace
+
+  friend bool operator==(const run_spec&, const run_spec&) = default;
+};
+
+/// Everything a test, bench or the CLI needs to know about one finished
+/// execution. Fields that do not apply to a given spec keep their defaults
+/// (e.g. worst_pair_ratio outside kk×scheduled, wa_* outside write-all).
+struct run_report {
+  // --- spec echo (resolved values: beta defaulted, memory coerced) ---
+  std::string label;
+  algo_family algo = algo_family::kk;
+  driver_kind driver = driver_kind::scheduled;
+  memory_kind memory = memory_kind::sim;
+  free_set_kind free_set = free_set_kind::bitset;
+  usize n = 0;
+  usize m = 0;
+  usize beta = 0;
+  unsigned eps_inv = 1;
+  usize crash_budget = 0;
+  std::string adversary;  ///< resolved adversary name ("" for os_threads)
+  std::uint64_t seed = 0;
+
+  // --- liveness / scheduling ---
+  usize total_steps = 0;  ///< scheduled: scheduler actions; threads: sum of per-thread actions
+  usize crashes = 0;      ///< crash decisions honored / threads crashed
+  bool quiescent = true;  ///< scheduled: no runnable process left before the step limit
+  usize terminated = 0;   ///< processes that reached `end`
+  double wall_seconds = 0.0;
+
+  // --- safety / effectiveness ---
+  usize effectiveness = 0;   ///< Do(alpha): distinct jobs performed
+  usize perform_events = 0;  ///< total do actions (== effectiveness iff correct)
+  bool at_most_once = true;
+  job_id duplicate = no_job;
+
+  // --- work accounting ---
+  op_counter total_work;
+  std::vector<kk_stats> per_process;  ///< kk family only, index pid-1
+  usize total_collisions = 0;
+  double worst_pair_ratio = 0.0;  ///< kk × scheduled: vs Lemma 5.5 pair bounds
+  usize num_levels = 0;           ///< iterative families
+
+  // --- write-all ---
+  bool wa_complete = false;
+  usize wa_written = 0;
+
+  // --- trace (record_trace runs only) ---
+  sim::trace trace;
+};
+
+/// Field-by-field equality over everything deterministic — i.e. everything
+/// except wall_seconds and the recorded trace (replay runs reproduce the
+/// trace; callers compare it separately when they care). This is the
+/// "bit-identical per-cell results" relation the sweep layer guarantees.
+[[nodiscard]] bool equivalent(const run_report& a, const run_report& b);
+
+}  // namespace amo::exp

@@ -1,0 +1,21 @@
+#include "exp/sweep.hpp"
+
+#include "exp/engine.hpp"
+#include "exp/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace amo::exp {
+
+sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt) {
+  thread_pool pool(opt.pool_size);
+  sweep_result out;
+  out.reports.resize(cells.size());
+
+  stopwatch clock;
+  out.pool_size = pool.run_indexed(
+      cells.size(), [&](usize i) { out.reports[i] = run(cells[i]); });
+  out.wall_seconds = clock.seconds();
+  return out;
+}
+
+}  // namespace amo::exp

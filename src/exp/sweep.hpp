@@ -1,0 +1,33 @@
+// exp::sweep — run many independent experiment cells on the work-stealing
+// pool. Each cell is a self-contained run_spec (its adversary seed included),
+// so per-cell results are bit-identical regardless of pool size or execution
+// order; results come back in cell order. This replaces the hand-rolled
+// serial triple-loops the bench binaries used to carry.
+#pragma once
+
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace amo::exp {
+
+struct sweep_options {
+  /// Worker threads; 0 = hardware_concurrency, 1 = serial reference run.
+  usize pool_size = 0;
+};
+
+struct sweep_result {
+  std::vector<run_report> reports;  ///< reports[i] corresponds to cells[i]
+  double wall_seconds = 0.0;        ///< whole-sweep wall clock
+  usize pool_size = 0;              ///< workers actually used (1 when serial)
+};
+
+/// Runs every cell; blocks until all are done. A throwing cell (e.g. an
+/// unknown adversary name) does not stop the others: the remaining cells
+/// still run — at any pool size, including the serial path — and the first
+/// exception is rethrown once the sweep drains (that cell's report slot is
+/// left default-constructed).
+sweep_result sweep(const std::vector<run_spec>& cells,
+                   const sweep_options& opt = {});
+
+}  // namespace amo::exp

@@ -1,0 +1,91 @@
+#include "exp/thread_pool.hpp"
+
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace amo::exp {
+
+thread_pool::thread_pool(usize workers) : workers_(workers) {
+  if (workers_ == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers_ = hc == 0 ? 4 : hc;
+  }
+}
+
+usize thread_pool::run_indexed(usize count,
+                               const std::function<void(usize)>& fn) {
+  if (count == 0) return 0;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto guarded = [&](usize task) {
+    try {
+      fn(task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (workers_ <= 1 || count == 1) {
+    for (usize i = 0; i < count; ++i) guarded(i);
+    if (first_error) std::rethrow_exception(first_error);
+    return 1;
+  }
+
+  const usize nw = std::min(workers_, count);
+  std::vector<std::unique_ptr<worker_queue>> queues;
+  queues.reserve(nw);
+  for (usize w = 0; w < nw; ++w) queues.push_back(std::make_unique<worker_queue>());
+  for (usize i = 0; i < count; ++i) queues[i % nw]->tasks.push_back(i);
+
+  auto worker_loop = [&](usize self) {
+    for (;;) {
+      usize task = 0;
+      bool found = false;
+      {
+        // Own queue first, front end.
+        std::lock_guard<std::mutex> lk(queues[self]->mu);
+        if (!queues[self]->tasks.empty()) {
+          task = queues[self]->tasks.front();
+          queues[self]->tasks.pop_front();
+          found = true;
+        }
+      }
+      if (!found) {
+        // Steal from the back of the first non-empty victim.
+        for (usize off = 1; off < nw && !found; ++off) {
+          worker_queue& victim = *queues[(self + off) % nw];
+          std::lock_guard<std::mutex> lk(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+            found = true;
+          }
+        }
+      }
+      if (!found) {
+        // Tasks are dealt up-front and never re-enqueued: empty everywhere
+        // means nothing left for this worker, ever. Exit instead of
+        // spinning so stragglers keep the whole core.
+        return;
+      }
+      guarded(task);
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(nw);
+    for (usize w = 0; w < nw; ++w) {
+      threads.emplace_back(worker_loop, w);
+    }
+  }  // join
+
+  if (first_error) std::rethrow_exception(first_error);
+  return nw;
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,48 @@
+// A small work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// Tasks are indices 0..count-1, dealt round-robin into per-worker deques at
+// submission time (deterministic initial placement); each worker drains its
+// own deque from the front and, when empty, steals from the back of a
+// victim's. Stealing from the opposite end keeps contention low and lets a
+// worker that lands a run of expensive cells shed its tail to idle peers —
+// which is what turns the serial bench sweeps into near-linear speedups.
+//
+// Correctness does not depend on the schedule: sweep cells are pure
+// functions of their spec, so results are identical for any pool size or
+// steal order (tested in tests/test_exp_sweep.cpp).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/types.hpp"
+
+namespace amo::exp {
+
+class thread_pool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency().
+  explicit thread_pool(usize workers = 0);
+
+  [[nodiscard]] usize size() const { return workers_; }
+
+  /// Invokes fn(i) for every i in [0, count), distributed over the pool;
+  /// returns when all invocations completed. With a single worker (or
+  /// count <= 1) runs inline, so pool-size-1 sweeps are genuinely serial.
+  /// In both modes every task runs even when some throw; the first
+  /// exception is rethrown after all tasks drain. Returns the number of
+  /// workers actually used (<= size(); 1 for the inline path, 0 when
+  /// count == 0).
+  usize run_indexed(usize count, const std::function<void(usize)>& fn);
+
+ private:
+  struct worker_queue {
+    std::mutex mu;
+    std::deque<usize> tasks;
+  };
+
+  usize workers_;
+};
+
+}  // namespace amo::exp

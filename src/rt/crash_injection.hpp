@@ -32,8 +32,16 @@ class crash_plan {
   /// Number of threads this plan will eventually crash.
   [[nodiscard]] usize planned_crashes() const;
 
- private:
+  // --- introspection (the experiment engine converts plans to its plain
+  // --- crash_spec value form and back) ---
   enum class kind : std::uint8_t { none, by_actions, by_announce };
+  [[nodiscard]] kind mode() const { return kind_; }
+  [[nodiscard]] const std::vector<usize>& actions_schedule() const {
+    return per_thread_;
+  }
+  [[nodiscard]] usize announce_crashers() const { return announce_crashers_; }
+
+ private:
   kind kind_ = kind::none;
   std::vector<usize> per_thread_;  // by_actions
   usize announce_crashers_ = 0;    // by_announce

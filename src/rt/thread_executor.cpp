@@ -1,141 +1,96 @@
+// Legacy real-thread entry points, now thin adapters over exp::run with
+// driver_kind::os_threads. The thread loop, checker wiring and stats
+// aggregation live in src/exp/engine.cpp.
 #include "rt/thread_executor.hpp"
 
-#include <memory>
-#include <thread>
-
-#include "analysis/amo_checker.hpp"
-#include "mem/atomic_memory.hpp"
-#include "util/stopwatch.hpp"
+#include "exp/engine.hpp"
 
 namespace amo::rt {
+
+namespace {
+
+exp::crash_spec to_crash_spec(const crash_plan& plan) {
+  exp::crash_spec spec;
+  switch (plan.mode()) {
+    case crash_plan::kind::none:
+      spec.what = exp::crash_spec::kind::none;
+      break;
+    case crash_plan::kind::by_actions:
+      spec.what = exp::crash_spec::kind::after_actions;
+      spec.per_thread = plan.actions_schedule();
+      break;
+    case crash_plan::kind::by_announce:
+      spec.what = exp::crash_spec::kind::after_first_announce;
+      spec.count = plan.announce_crashers();
+      break;
+  }
+  return spec;
+}
+
+exp::run_hooks to_hooks(const std::function<void(process_id, job_id)>& job_fn) {
+  exp::run_hooks hooks;
+  if (job_fn) hooks.on_perform = job_fn;
+  return hooks;
+}
+
+}  // namespace
 
 thread_run_report run_kk_threads(
     const thread_run_options& opt,
     const std::function<void(process_id, job_id)>& job_fn) {
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.driver = exp::driver_kind::os_threads;
+  spec.n = opt.n;
+  spec.m = opt.m;
+  spec.beta = opt.beta;
+  spec.rule = opt.rule;
+  spec.crashes = to_crash_spec(opt.crashes);
+  const exp::run_report r = exp::run(spec, to_hooks(job_fn));
+
   thread_run_report report;
-  report.n = opt.n;
-  report.m = opt.m;
-  report.beta = opt.beta == 0 ? opt.m : opt.beta;
-
-  atomic_memory mem(opt.m, opt.n);
-  amo_checker checker(opt.n);
-
-  std::vector<std::unique_ptr<kk_process<atomic_memory>>> procs;
-  procs.reserve(opt.m);
-  for (process_id pid = 1; pid <= opt.m; ++pid) {
-    kk_config cfg;
-    cfg.pid = pid;
-    cfg.num_processes = opt.m;
-    cfg.beta = opt.beta;
-    cfg.rule = opt.rule;
-    kk_hooks hooks;
-    hooks.on_perform = [&checker, &job_fn](process_id p, job_id j) {
-      checker.record(p, j);
-      if (job_fn) job_fn(p, j);
-    };
-    procs.push_back(std::make_unique<kk_process<atomic_memory>>(
-        mem, cfg, nullptr, std::move(hooks)));
-  }
-
-  stopwatch clock;
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(opt.m);
-    for (process_id pid = 1; pid <= opt.m; ++pid) {
-      kk_process<atomic_memory>* proc = procs[pid - 1].get();
-      const crash_plan& plan = opt.crashes;
-      threads.emplace_back([proc, pid, &plan] {
-        while (proc->runnable()) {
-          if (plan.should_crash(pid, *proc)) {
-            proc->crash();
-            break;
-          }
-          proc->step();
-        }
-      });
-    }
-  }  // jthreads join here
-  report.wall_seconds = clock.seconds();
-
-  report.effectiveness = checker.distinct();
-  report.perform_events = checker.total_events();
-  report.at_most_once = checker.ok();
-  report.duplicate = checker.first_duplicate();
-  for (const auto& p : procs) {
-    report.per_process.push_back(p->stats());
-    report.total_work += p->stats().work;
-    if (p->status() == kk_status::end) ++report.terminated;
-    if (p->status() == kk_status::stop) ++report.crashed;
-  }
+  report.n = r.n;
+  report.m = r.m;
+  report.beta = r.beta;
+  report.effectiveness = r.effectiveness;
+  report.perform_events = r.perform_events;
+  report.at_most_once = r.at_most_once;
+  report.duplicate = r.duplicate;
+  report.total_work = r.total_work;
+  report.per_process = r.per_process;
+  report.crashed = r.crashes;
+  report.terminated = r.terminated;
+  report.wall_seconds = r.wall_seconds;
   return report;
 }
 
 iter_thread_report run_iterative_threads(
     const iter_thread_options& opt,
     const std::function<void(process_id, job_id)>& job_fn) {
+  exp::run_spec spec;
+  spec.algo = opt.write_all ? exp::algo_family::wa_iterative
+                            : exp::algo_family::iterative;
+  spec.driver = exp::driver_kind::os_threads;
+  spec.n = opt.n;
+  spec.m = opt.m;
+  spec.eps_inv = opt.eps_inv;
+  spec.crashes = to_crash_spec(opt.crashes);
+  const exp::run_report r = exp::run(spec, to_hooks(job_fn));
+
   iter_thread_report report;
-  report.n = opt.n;
-  report.m = opt.m;
-  report.eps_inv = opt.eps_inv;
-
-  iterative_shared<atomic_memory> shared(
-      make_iterative_plan(opt.n, opt.m, opt.eps_inv));
-  amo_checker checker(opt.n);
-  write_all_array wa(opt.write_all ? opt.n : 1);
-
-  std::vector<std::unique_ptr<iterative_process<atomic_memory>>> procs;
-  procs.reserve(opt.m);
-  for (process_id pid = 1; pid <= opt.m; ++pid) {
-    iterative_process<atomic_memory>::perform_fn fn;
-    if (opt.write_all) {
-      fn = [&wa, &job_fn, pid](job_id j) {
-        wa.set(j);
-        if (job_fn) job_fn(pid, j);
-      };
-    } else {
-      fn = [&checker, &job_fn, pid](job_id j) {
-        checker.record(pid, j);
-        if (job_fn) job_fn(pid, j);
-      };
-    }
-    procs.push_back(std::make_unique<iterative_process<atomic_memory>>(
-        shared, pid, opt.write_all, std::move(fn)));
-  }
-
-  stopwatch clock;
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(opt.m);
-    for (process_id pid = 1; pid <= opt.m; ++pid) {
-      iterative_process<atomic_memory>* proc = procs[pid - 1].get();
-      const crash_plan& plan = opt.crashes;
-      threads.emplace_back([proc, pid, &plan] {
-        while (proc->runnable()) {
-          if (plan.should_crash(pid, *proc)) {
-            proc->crash();
-            break;
-          }
-          proc->step();
-        }
-      });
-    }
-  }
-  report.wall_seconds = clock.seconds();
-
-  report.effectiveness = checker.distinct();
-  report.perform_events = checker.total_events();
-  report.at_most_once = checker.ok();
-  report.duplicate = checker.first_duplicate();
-  for (const auto& p : procs) {
-    report.total_work += p->stats().work;
-    if (p->finished()) ++report.terminated;
-    if (!p->runnable() && !p->finished()) ++report.crashed;
-  }
-  if (opt.write_all) {
-    report.wa_written = wa.count_set();
-    report.wa_complete = wa.complete();
-    report.effectiveness = report.wa_written;
-  }
+  report.n = r.n;
+  report.m = r.m;
+  report.eps_inv = r.eps_inv;
+  report.effectiveness = r.effectiveness;
+  report.perform_events = r.perform_events;
+  report.at_most_once = r.at_most_once;
+  report.duplicate = r.duplicate;
+  report.total_work = r.total_work;
+  report.crashed = r.crashes;
+  report.terminated = r.terminated;
+  report.wa_complete = r.wa_complete;
+  report.wa_written = r.wa_written;
+  report.wall_seconds = r.wall_seconds;
   return report;
 }
 

@@ -6,7 +6,9 @@
 // the proofs need (see mem/atomic_memory.hpp).
 //
 // This is the substrate behind the public amo::perform_at_most_once API and
-// behind throughput bench E9.
+// behind throughput bench E9. Since the experiment-engine refactor both
+// entry points are thin adapters over exp::run (driver_kind::os_threads);
+// the thread loop and all aggregation live in src/exp/engine.cpp.
 #pragma once
 
 #include <functional>

@@ -1,64 +1,69 @@
+// The legacy one-call harnesses, now thin adapters over exp::run (the
+// unified experiment engine). All process construction, checker/ledger
+// wiring and stats aggregation lives in src/exp/engine.cpp; this file only
+// translates between the historical option/report structs and run_spec /
+// run_report.
 #include "sim/harness.hpp"
 
-#include <memory>
-
-#include "core/wa_iterative_kk.hpp"
+#include "exp/engine.hpp"
 #include "sets/fenwick_rank_set.hpp"
 #include "sets/ostree.hpp"
 
 namespace amo::sim {
 
+namespace {
+
+template <class FS>
+struct fs_kind_of;
+template <>
+struct fs_kind_of<bitset_rank_set> {
+  static constexpr exp::free_set_kind value = exp::free_set_kind::bitset;
+};
+template <>
+struct fs_kind_of<fenwick_rank_set> {
+  static constexpr exp::free_set_kind value = exp::free_set_kind::fenwick;
+};
+template <>
+struct fs_kind_of<ostree> {
+  static constexpr exp::free_set_kind value = exp::free_set_kind::ostree;
+};
+
+void fill_sched(run_result& out, const exp::run_report& r) {
+  out.total_steps = r.total_steps;
+  out.crashes = r.crashes;
+  out.quiescent = r.quiescent;
+}
+
+}  // namespace
+
 template <rank_set FS>
 kk_sim_report run_kk(const kk_sim_options& opt, adversary& adv) {
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.free_set = fs_kind_of<FS>::value;
+  spec.n = opt.n;
+  spec.m = opt.m;
+  spec.beta = opt.beta;
+  spec.rule = opt.rule;
+  spec.crash_budget = opt.crash_budget;
+  spec.max_steps = opt.max_steps;
+  const exp::run_report r = exp::run(spec, adv);
+
   kk_sim_report report;
-  report.n = opt.n;
-  report.m = opt.m;
-  report.beta = opt.beta == 0 ? opt.m : opt.beta;
-  report.crash_budget = opt.crash_budget;
-
-  sim_memory mem(opt.m, opt.n);
-  amo_checker checker(opt.n);
-  collision_ledger ledger(opt.m, opt.n);
-
-  std::vector<std::unique_ptr<kk_process<sim_memory, FS>>> procs;
-  procs.reserve(opt.m);
-  std::vector<automaton*> handles;
-  handles.reserve(opt.m);
-  for (process_id pid = 1; pid <= opt.m; ++pid) {
-    kk_config cfg;
-    cfg.pid = pid;
-    cfg.num_processes = opt.m;
-    cfg.beta = opt.beta;
-    cfg.mode = kk_mode::plain;
-    cfg.rule = opt.rule;
-    kk_hooks hooks;
-    hooks.on_perform = [&checker](process_id p, job_id j) { checker.record(p, j); };
-    hooks.on_collision = [&ledger, &checker](process_id p, job_id j,
-                                             process_id announcer, bool via_done) {
-      ledger.record(p, j, announcer, via_done, checker);
-    };
-    procs.push_back(std::make_unique<kk_process<sim_memory, FS>>(
-        mem, cfg, nullptr, std::move(hooks)));
-    handles.push_back(procs.back().get());
-  }
-
-  scheduler sched(handles);
-  const usize limit =
-      opt.max_steps == 0 ? default_step_limit(opt.n, opt.m) : opt.max_steps;
-  report.sched = sched.run(adv, opt.crash_budget, limit);
-
-  report.effectiveness = checker.distinct();
-  report.perform_events = checker.total_events();
-  report.at_most_once = checker.ok();
-  report.duplicate = checker.first_duplicate();
-  for (const auto& p : procs) {
-    report.per_process.push_back(p->stats());
-    report.total_work += p->stats().work;
-    report.total_collisions +=
-        p->stats().collisions_try + p->stats().collisions_done;
-    if (p->status() == kk_status::end) ++report.terminated;
-  }
-  report.worst_pair_ratio = ledger.worst_pair_ratio();
+  report.n = r.n;
+  report.m = r.m;
+  report.beta = r.beta;
+  report.crash_budget = r.crash_budget;
+  fill_sched(report.sched, r);
+  report.effectiveness = r.effectiveness;
+  report.perform_events = r.perform_events;
+  report.at_most_once = r.at_most_once;
+  report.duplicate = r.duplicate;
+  report.total_work = r.total_work;
+  report.per_process = r.per_process;
+  report.total_collisions = r.total_collisions;
+  report.worst_pair_ratio = r.worst_pair_ratio;
+  report.terminated = r.terminated;
   return report;
 }
 
@@ -67,56 +72,31 @@ template kk_sim_report run_kk<fenwick_rank_set>(const kk_sim_options&, adversary
 template kk_sim_report run_kk<ostree>(const kk_sim_options&, adversary&);
 
 iter_sim_report run_iterative(const iter_sim_options& opt, adversary& adv) {
+  exp::run_spec spec;
+  spec.algo = opt.write_all ? exp::algo_family::wa_iterative
+                            : exp::algo_family::iterative;
+  spec.n = opt.n;
+  spec.m = opt.m;
+  spec.eps_inv = opt.eps_inv;
+  spec.crash_budget = opt.crash_budget;
+  spec.max_steps = opt.max_steps;
+  const exp::run_report r = exp::run(spec, adv);
+
   iter_sim_report report;
-  report.n = opt.n;
-  report.m = opt.m;
-  report.eps_inv = opt.eps_inv;
-
-  iterative_shared<sim_memory> shared(
-      make_iterative_plan(opt.n, opt.m, opt.eps_inv));
-  report.num_levels = shared.plan.levels.size();
-
-  amo_checker checker(opt.n);
-  write_all_array wa(opt.write_all ? opt.n : 1);
-
-  std::vector<std::unique_ptr<iterative_process<sim_memory>>> procs;
-  procs.reserve(opt.m);
-  std::vector<automaton*> handles;
-  handles.reserve(opt.m);
-  for (process_id pid = 1; pid <= opt.m; ++pid) {
-    iterative_process<sim_memory>::perform_fn fn;
-    if (opt.write_all) {
-      fn = [&wa](job_id j) { wa.set(j); };
-    } else {
-      fn = [&checker, pid](job_id j) { checker.record(pid, j); };
-    }
-    procs.push_back(std::make_unique<iterative_process<sim_memory>>(
-        shared, pid, opt.write_all, std::move(fn)));
-    handles.push_back(procs.back().get());
-  }
-
-  scheduler sched(handles);
-  // The iterated algorithm runs 3 + 1/eps levels; scale the default limit.
-  const usize limit = opt.max_steps == 0
-                          ? default_step_limit(opt.n, opt.m) *
-                                (shared.plan.levels.size() + 1)
-                          : opt.max_steps;
-  report.sched = sched.run(adv, opt.crash_budget, limit);
-
-  report.effectiveness = checker.distinct();
-  report.perform_events = checker.total_events();
-  report.at_most_once = checker.ok();
-  report.duplicate = checker.first_duplicate();
-  for (const auto& p : procs) {
-    report.total_work += p->stats().work;
-    report.total_collisions += p->stats().collisions;
-    if (p->finished()) ++report.terminated;
-  }
-  if (opt.write_all) {
-    report.wa_written = wa.count_set();
-    report.wa_complete = wa.complete();
-    report.effectiveness = report.wa_written;
-  }
+  report.n = r.n;
+  report.m = r.m;
+  report.eps_inv = r.eps_inv;
+  fill_sched(report.sched, r);
+  report.effectiveness = r.effectiveness;
+  report.perform_events = r.perform_events;
+  report.at_most_once = r.at_most_once;
+  report.duplicate = r.duplicate;
+  report.total_work = r.total_work;
+  report.total_collisions = r.total_collisions;
+  report.num_levels = r.num_levels;
+  report.wa_complete = r.wa_complete;
+  report.wa_written = r.wa_written;
+  report.terminated = r.terminated;
   return report;
 }
 

@@ -1,9 +1,10 @@
-// One-call simulation harnesses: build the register file, the processes,
-// the verification hooks and the scheduler; run to quiescence under a given
-// adversary; return a report with everything tests and benches need.
-//
-// These functions are the workhorses behind experiments E1-E8 (DESIGN.md
-// Section 5).
+// One-call simulation harnesses (legacy surface): run to quiescence under a
+// given adversary and return a report with everything tests and benches
+// need. Since the experiment-engine refactor these are thin adapters over
+// exp::run (src/exp/engine.hpp), which owns all process construction and
+// checker/ledger/stats aggregation; prefer exp::run / exp::sweep in new
+// code — these remain for the many existing call sites and for API
+// stability.
 #pragma once
 
 #include <vector>

@@ -26,6 +26,8 @@ struct op_counter {
     return shared_reads + shared_writes + local_ops + actions;
   }
 
+  friend bool operator==(const op_counter&, const op_counter&) = default;
+
   op_counter& operator+=(const op_counter& o) {
     shared_reads += o.shared_reads;
     shared_writes += o.shared_writes;

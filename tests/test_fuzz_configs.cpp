@@ -6,58 +6,64 @@
 //   * for beta >= m: quiescence and the Lemma 4.2 effectiveness floor;
 //   * accounting identities (writes == announces + records, perform events
 //     == distinct jobs).
+// Each seed's draws are built as exp::run_spec cells and executed as one
+// exp::sweep batch on the work-stealing pool — fuzzing the engine and the
+// pool together.
 #include <gtest/gtest.h>
 
 #include "analysis/bounds.hpp"
-#include "sim/harness.hpp"
+#include "exp/sweep.hpp"
+#include "sim/adversary.hpp"
 #include "util/prng.hpp"
 
 namespace amo {
 namespace {
 
-struct drawn_config {
-  sim::kk_sim_options opt;
-  usize adversary_index;
-  std::uint64_t adv_seed;
-};
-
-drawn_config draw(xoshiro256& rng) {
-  drawn_config d;
-  d.opt.m = static_cast<usize>(rng.between(1, 12));
-  d.opt.n = static_cast<usize>(rng.between(d.opt.m, 2000));
+exp::run_spec draw(xoshiro256& rng) {
+  exp::run_spec d;
+  d.algo = exp::algo_family::kk;
+  d.m = static_cast<usize>(rng.between(1, 12));
+  d.n = static_cast<usize>(rng.between(d.m, 2000));
   switch (rng.below(4)) {
-    case 0: d.opt.beta = 0; break;                                    // = m
-    case 1: d.opt.beta = static_cast<usize>(rng.between(1, d.opt.m)); break;
-    case 2: d.opt.beta = 3 * d.opt.m * d.opt.m; break;
-    default: d.opt.beta = static_cast<usize>(rng.between(1, 2 * d.opt.n + 2));
+    case 0: d.beta = 0; break;                                    // = m
+    case 1: d.beta = static_cast<usize>(rng.between(1, d.m)); break;
+    case 2: d.beta = 3 * d.m * d.m; break;
+    default: d.beta = static_cast<usize>(rng.between(1, 2 * d.n + 2));
   }
-  d.opt.rule = rng.chance(1, 4) ? selection_rule::two_ends
-                                : selection_rule::paper_rank;
-  d.opt.crash_budget = static_cast<usize>(rng.below(d.opt.m));
-  d.adversary_index = static_cast<usize>(
-      rng.below(sim::standard_adversaries().size()));
-  d.adv_seed = rng();
+  d.rule = rng.chance(1, 4) ? selection_rule::two_ends
+                            : selection_rule::paper_rank;
+  d.crash_budget = static_cast<usize>(rng.below(d.m));
+  d.adversary.name =
+      sim::standard_adversaries()[rng.below(sim::standard_adversaries().size())]
+          .label;
+  d.adversary.seed = rng();
   // Bounded run: beta < m (or two_ends with m > 2) may legitimately not
   // terminate; safety must hold on the prefix regardless.
-  d.opt.max_steps = 64 * (d.opt.n + 8) * (d.opt.m + 2);
+  d.max_steps = 64 * (d.n + 8) * (d.m + 2);
   return d;
+}
+
+std::string context(const exp::run_report& r, const exp::run_spec& d) {
+  return "n=" + std::to_string(d.n) + " m=" + std::to_string(d.m) +
+         " beta=" + std::to_string(d.beta) +
+         " rule=" + (d.rule == selection_rule::two_ends ? "two_ends" : "rank") +
+         " adv=" + r.adversary + " f=" + std::to_string(d.crash_budget) +
+         " seed=" + std::to_string(d.adversary.seed);
 }
 
 class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSweep, InvariantsHoldOnRandomConfigurations) {
   xoshiro256 rng(GetParam());
-  for (int iter = 0; iter < 60; ++iter) {
-    const drawn_config d = draw(rng);
-    auto adv = sim::standard_adversaries()[d.adversary_index].make(d.adv_seed);
-    const auto r = sim::run_kk<>(d.opt, *adv);
+  std::vector<exp::run_spec> cells;
+  cells.reserve(60);
+  for (int iter = 0; iter < 60; ++iter) cells.push_back(draw(rng));
+  const exp::sweep_result result = exp::sweep(cells);
 
-    const std::string ctx =
-        "n=" + std::to_string(d.opt.n) + " m=" + std::to_string(d.opt.m) +
-        " beta=" + std::to_string(d.opt.beta) +
-        " rule=" + (d.opt.rule == selection_rule::two_ends ? "two_ends" : "rank") +
-        " adv=" + std::string(adv->name()) + " f=" +
-        std::to_string(d.opt.crash_budget) + " seed=" + std::to_string(d.adv_seed);
+  for (usize i = 0; i < cells.size(); ++i) {
+    const exp::run_spec& d = cells[i];
+    const exp::run_report& r = result.reports[i];
+    const std::string ctx = context(r, d);
 
     // Safety: unconditional.
     ASSERT_TRUE(r.at_most_once) << ctx << " duplicate=" << r.duplicate;
@@ -75,18 +81,17 @@ TEST_P(FuzzSweep, InvariantsHoldOnRandomConfigurations) {
     // A crash can land between a do and its record, so records trails the
     // perform count by at most the crash count.
     EXPECT_LE(records, r.perform_events) << ctx;
-    EXPECT_LE(r.perform_events, records + r.sched.crashes) << ctx;
+    EXPECT_LE(r.perform_events, records + r.crashes) << ctx;
 
     // Liveness + effectiveness floor in the guaranteed regime.
-    const usize beta = d.opt.beta == 0 ? d.opt.m : d.opt.beta;
-    if (beta >= d.opt.m && d.opt.rule == selection_rule::paper_rank) {
-      ASSERT_TRUE(r.sched.quiescent) << ctx << " (possible livelock)";
-      EXPECT_GE(r.effectiveness,
-                bounds::kk_effectiveness(d.opt.n, d.opt.m, beta))
+    const usize beta = d.beta == 0 ? d.m : d.beta;
+    if (beta >= d.m && d.rule == selection_rule::paper_rank) {
+      ASSERT_TRUE(r.quiescent) << ctx << " (possible livelock)";
+      EXPECT_GE(r.effectiveness, bounds::kk_effectiveness(d.n, d.m, beta))
           << ctx;
     }
-    if (r.sched.quiescent) {
-      EXPECT_EQ(r.terminated + r.sched.crashes, d.opt.m) << ctx;
+    if (r.quiescent) {
+      EXPECT_EQ(r.terminated + r.crashes, d.m) << ctx;
     }
   }
 }
@@ -99,25 +104,35 @@ class IterativeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(IterativeFuzz, InvariantsHoldOnRandomConfigurations) {
   xoshiro256 rng(GetParam());
+  std::vector<exp::run_spec> cells;
+  cells.reserve(12);
   for (int iter = 0; iter < 12; ++iter) {
-    sim::iter_sim_options opt;
+    exp::run_spec opt;
     opt.m = static_cast<usize>(rng.between(1, 6));
     opt.n = static_cast<usize>(rng.between(std::max<usize>(opt.m, 10), 6000));
     opt.eps_inv = static_cast<unsigned>(rng.between(1, 4));
-    opt.write_all = rng.chance(1, 2);
+    opt.algo = rng.chance(1, 2) ? exp::algo_family::wa_iterative
+                                : exp::algo_family::iterative;
     opt.crash_budget = static_cast<usize>(rng.below(opt.m));
-    auto adv = sim::standard_adversaries()[rng.below(6)].make(rng());
-    const auto r = sim::run_iterative(opt, *adv);
+    opt.adversary.name = sim::standard_adversaries()[rng.below(6)].label;
+    opt.adversary.seed = rng();
+    cells.push_back(std::move(opt));
+  }
+  const exp::sweep_result result = exp::sweep(cells);
 
+  for (usize i = 0; i < cells.size(); ++i) {
+    const exp::run_spec& opt = cells[i];
+    const exp::run_report& r = result.reports[i];
+    const bool write_all = opt.algo == exp::algo_family::wa_iterative;
     const std::string ctx = "n=" + std::to_string(opt.n) +
                             " m=" + std::to_string(opt.m) + " eps_inv=" +
                             std::to_string(opt.eps_inv) +
-                            (opt.write_all ? " wa" : " amo") +
+                            (write_all ? " wa" : " amo") +
                             " f=" + std::to_string(opt.crash_budget);
 
-    ASSERT_TRUE(r.sched.quiescent) << ctx;
-    if (opt.write_all) {
-      if (r.sched.crashes < opt.m) {
+    ASSERT_TRUE(r.quiescent) << ctx;
+    if (write_all) {
+      if (r.crashes < opt.m) {
         EXPECT_TRUE(r.wa_complete)
             << ctx << " wrote " << r.wa_written << "/" << opt.n;
       }

@@ -1,18 +1,36 @@
 // IterativeKK(eps) — Sections 6: cross-level at-most-once (Theorem 6.3),
 // per-level output purity (Lemma 6.2), effectiveness within the Theorem 6.4
 // envelope, termination, and crash tolerance.
+// Driver-level sweeps run on the experiment engine (exp::run); the
+// level-hook tests drive iterative_shared through the raw scheduler because
+// they need per-level observation hooks.
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <mutex>
 #include <set>
 #include <tuple>
 
+#include "analysis/amo_checker.hpp"
 #include "analysis/bounds.hpp"
-#include "sim/harness.hpp"
+#include "core/iterative_kk.hpp"
+#include "exp/engine.hpp"
+#include "mem/sim_memory.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
 
 namespace amo {
 namespace {
+
+exp::run_spec iter_spec(usize n, usize m, unsigned eps_inv,
+                        const std::string& adversary, std::uint64_t seed = 1) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::iterative;
+  s.n = n;
+  s.m = m;
+  s.eps_inv = eps_inv;
+  s.adversary = {adversary, seed};
+  return s;
+}
 
 class IterativeSweep
     : public ::testing::TestWithParam<
@@ -20,15 +38,12 @@ class IterativeSweep
 
 TEST_P(IterativeSweep, AtMostOnceAndEffectiveness) {
   const auto [n, m, eps_inv, adversary_index, seed] = GetParam();
-  sim::iter_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.eps_inv = eps_inv;
-  auto adv = sim::standard_adversaries()[adversary_index].make(seed);
-  const auto report = sim::run_iterative(opt, *adv);
-  ASSERT_TRUE(report.sched.quiescent) << adv->name();
+  const exp::run_report report = exp::run(iter_spec(
+      n, m, eps_inv, sim::standard_adversaries()[adversary_index].label, seed));
+  ASSERT_TRUE(report.quiescent) << report.adversary;
   EXPECT_TRUE(report.at_most_once)
-      << "duplicate real job " << report.duplicate << " under " << adv->name();
+      << "duplicate real job " << report.duplicate << " under "
+      << report.adversary;
   EXPECT_EQ(report.num_levels, eps_inv + 2u);
   EXPECT_EQ(report.terminated, m);
   // Theorem 6.4 envelope on jobs lost.
@@ -49,16 +64,12 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Iterative, CrashSweepStaysSafe) {
   for (const usize f : {usize{1}, usize{3}}) {
     for (const std::uint64_t seed : {7ull, 21ull}) {
-      sim::iter_sim_options opt;
-      opt.n = 4096;
-      opt.m = 4;
-      opt.eps_inv = 2;
-      opt.crash_budget = f;
-      sim::random_adversary adv(seed, 1, 400);
-      const auto report = sim::run_iterative(opt, adv);
-      ASSERT_TRUE(report.sched.quiescent);
+      exp::run_spec spec = iter_spec(4096, 4, 2, "random+crash:1/400", seed);
+      spec.crash_budget = f;
+      const exp::run_report report = exp::run(spec);
+      ASSERT_TRUE(report.quiescent);
       EXPECT_TRUE(report.at_most_once) << "duplicate " << report.duplicate;
-      EXPECT_EQ(report.terminated + report.sched.crashes, 4u);
+      EXPECT_EQ(report.terminated + report.crashes, 4u);
     }
   }
 }
@@ -145,13 +156,9 @@ TEST(Iterative, SuperJobsPerformedAtMostOncePerLevel) {
 TEST(Iterative, ProcessesMayRunLevelsOutOfLockstep) {
   // One process races ahead through all levels while others lag: safety
   // must not depend on any level barrier.
-  sim::iter_sim_options opt;
-  opt.n = 2048;
-  opt.m = 4;
-  opt.eps_inv = 1;
-  sim::stale_view_adversary adv(1 << 22);  // leader runs essentially forever
-  const auto report = sim::run_iterative(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  const exp::run_report report =
+      exp::run(iter_spec(2048, 4, 1, "stale_view:4194304"));
+  ASSERT_TRUE(report.quiescent);
   EXPECT_TRUE(report.at_most_once);
   EXPECT_GE(report.effectiveness, 1u);
 }
@@ -162,21 +169,17 @@ TEST(Iterative, EffectivenessBelowPlainKkButWorkFlatterAtScale) {
   // same schedule family.
   const usize n = 8192;
   const usize m = 4;
-  sim::round_robin_adversary adv1;
-  sim::kk_sim_options kopt;
+  exp::run_spec kopt;
+  kopt.algo = exp::algo_family::kk;
   kopt.n = n;
   kopt.m = m;
-  const auto plain = sim::run_kk<>(kopt, adv1);
+  kopt.adversary.name = "round_robin";
+  const exp::run_report plain = exp::run(kopt);
 
-  sim::round_robin_adversary adv2;
-  sim::iter_sim_options iopt;
-  iopt.n = n;
-  iopt.m = m;
-  iopt.eps_inv = 2;
-  const auto iter = sim::run_iterative(iopt, adv2);
+  const exp::run_report iter = exp::run(iter_spec(n, m, 2, "round_robin"));
 
-  ASSERT_TRUE(plain.sched.quiescent);
-  ASSERT_TRUE(iter.sched.quiescent);
+  ASSERT_TRUE(plain.quiescent);
+  ASSERT_TRUE(iter.quiescent);
   EXPECT_GE(plain.effectiveness, iter.effectiveness);
   EXPECT_GT(iter.effectiveness, n / 2);  // still performs the bulk
 }
@@ -184,13 +187,8 @@ TEST(Iterative, EffectivenessBelowPlainKkButWorkFlatterAtScale) {
 TEST(Iterative, TinyInstanceDegradesGracefully) {
   // n barely above 3m^2: most levels terminate immediately; the final
   // size-1 level still performs within its Theorem 4.4 envelope.
-  sim::iter_sim_options opt;
-  opt.n = 100;
-  opt.m = 2;
-  opt.eps_inv = 3;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_iterative(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  const exp::run_report report = exp::run(iter_spec(100, 2, 3, "round_robin"));
+  ASSERT_TRUE(report.quiescent);
   EXPECT_TRUE(report.at_most_once);
   const double loss = 100.0 - static_cast<double>(report.effectiveness);
   EXPECT_LE(loss, bounds::iterative_loss_envelope(100, 2, 3));

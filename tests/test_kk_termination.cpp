@@ -4,12 +4,15 @@
 // crashes, and the survivors all reach `end` (not merely the scheduler
 // stalling).  Also Lemma 4.2's flip side: termination implies the job count
 // is already >= n - (beta + m - 2).
+// Runs on the experiment engine (exp::run over run_spec cells).
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "analysis/bounds.hpp"
-#include "sim/harness.hpp"
+#include "exp/engine.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
 
 namespace amo {
 namespace {
@@ -20,14 +23,15 @@ class Termination
 
 TEST_P(Termination, QuiescesWithinBudget) {
   const auto [n, m, adversary_index, seed] = GetParam();
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  auto adv = sim::standard_adversaries()[adversary_index].make(seed);
-  const auto report = sim::run_kk<>(opt, *adv);
-  ASSERT_TRUE(report.sched.quiescent) << adv->name() << " livelocked";
-  EXPECT_EQ(report.terminated + report.sched.crashes, m);
-  EXPECT_LT(report.sched.total_steps, sim::default_step_limit(n, m));
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.n = n;
+  spec.m = m;
+  spec.adversary = {sim::standard_adversaries()[adversary_index].label, seed};
+  const exp::run_report report = exp::run(spec);
+  ASSERT_TRUE(report.quiescent) << report.adversary << " livelocked";
+  EXPECT_EQ(report.terminated + report.crashes, m);
+  EXPECT_LT(report.total_steps, sim::default_step_limit(n, m));
   // Lemma 4.2: quiescence requires the bound to have been met.
   EXPECT_GE(report.effectiveness, bounds::kk_effectiveness(n, m, m));
 }
@@ -42,14 +46,15 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Termination, SurvivorFinishesAloneAfterMassCrash) {
   // All but one process crash mid-run; the survivor must still terminate
   // (wait-freedom means no process ever waits on another).
-  sim::kk_sim_options opt;
-  opt.n = 300;
-  opt.m = 6;
-  opt.crash_budget = 5;
-  sim::random_adversary adv(77, 1, 50);  // aggressive crashes
-  const auto report = sim::run_kk<>(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
-  EXPECT_EQ(report.terminated, 6u - report.sched.crashes);
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.n = 300;
+  spec.m = 6;
+  spec.crash_budget = 5;
+  spec.adversary = {"random+crash:1/50", 77};  // aggressive crashes
+  const exp::run_report report = exp::run(spec);
+  ASSERT_TRUE(report.quiescent);
+  EXPECT_EQ(report.terminated, 6u - report.crashes);
   EXPECT_TRUE(report.at_most_once);
 }
 
@@ -57,27 +62,29 @@ TEST(Termination, ActionCountScalesReasonably) {
   // The action count for a fair schedule should be O(n*m) up to collision
   // overhead — far below the defensive limit; this catches accidental
   // busy-loop regressions in the automaton.
-  sim::kk_sim_options opt;
-  opt.n = 2000;
-  opt.m = 4;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_kk<>(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.n = 2000;
+  spec.m = 4;
+  spec.adversary.name = "round_robin";
+  const exp::run_report report = exp::run(spec);
+  ASSERT_TRUE(report.quiescent);
   // Each performed job costs its performer ~2m+5 actions (one gather pass)
   // plus collision reruns; x8 headroom.
-  EXPECT_LT(report.sched.total_steps, 8 * (2 * opt.m + 5) * opt.n);
+  EXPECT_LT(report.total_steps, 8 * (2 * spec.m + 5) * spec.n);
 }
 
 TEST(Termination, BetaEqualToNEndsImmediately) {
   // beta > n - ... : |FREE \ TRY| < beta at the very first compNext; every
   // process must end without performing anything.
-  sim::kk_sim_options opt;
-  opt.n = 50;
-  opt.m = 2;
-  opt.beta = 51;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_kk<>(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  exp::run_spec spec;
+  spec.algo = exp::algo_family::kk;
+  spec.n = 50;
+  spec.m = 2;
+  spec.beta = 51;
+  spec.adversary.name = "round_robin";
+  const exp::run_report report = exp::run(spec);
+  ASSERT_TRUE(report.quiescent);
   EXPECT_EQ(report.effectiveness, 0u);
   EXPECT_EQ(report.terminated, 2u);
 }
@@ -86,14 +93,15 @@ TEST(Termination, TwoEndsRuleAlsoTerminates) {
   // The AO2-style rule with beta = 1 terminates on exhaustion; regression
   // guard against the both-pick-the-same-job livelock.
   for (const std::uint64_t seed : {5ull, 6ull, 7ull, 8ull}) {
-    sim::kk_sim_options opt;
-    opt.n = 257;
-    opt.m = 2;
-    opt.beta = 1;
-    opt.rule = selection_rule::two_ends;
-    sim::random_adversary adv(seed);
-    const auto report = sim::run_kk<>(opt, adv);
-    EXPECT_TRUE(report.sched.quiescent) << "seed " << seed;
+    exp::run_spec spec;
+    spec.algo = exp::algo_family::kk;
+    spec.n = 257;
+    spec.m = 2;
+    spec.beta = 1;
+    spec.rule = selection_rule::two_ends;
+    spec.adversary = {"random", seed};
+    const exp::run_report report = exp::run(spec);
+    EXPECT_TRUE(report.quiescent) << "seed " << seed;
     EXPECT_TRUE(report.at_most_once);
   }
 }

@@ -3,15 +3,28 @@
 //  * total collisions stay below Theorem 5.6's 4(n+1) lg m,
 //  * total work stays within a constant of the n*m*lg n*lg m envelope.
 // Also internal consistency of the work accounting itself.
+// Runs on the experiment engine (exp::run over run_spec cells).
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "analysis/bounds.hpp"
-#include "sim/harness.hpp"
+#include "exp/engine.hpp"
+#include "sim/adversary.hpp"
 
 namespace amo {
 namespace {
+
+exp::run_spec kk_spec(usize n, usize m, usize beta,
+                      const std::string& adversary, std::uint64_t seed = 1) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::kk;
+  s.n = n;
+  s.m = m;
+  s.beta = beta;
+  s.adversary = {adversary, seed};
+  return s;
+}
 
 class WorkSweep
     : public ::testing::TestWithParam<std::tuple<usize, usize, usize, std::uint64_t>> {
@@ -19,14 +32,11 @@ class WorkSweep
 
 TEST_P(WorkSweep, CollisionBoundsHoldForBigBeta) {
   const auto [n, m, adversary_index, seed] = GetParam();
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  opt.beta = 3 * m * m;  // the Section 5 regime
-  if (opt.beta + m >= n) GTEST_SKIP() << "degenerate: beta too close to n";
-  auto adv = sim::standard_adversaries()[adversary_index].make(seed);
-  const auto report = sim::run_kk<>(opt, *adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  const usize beta = 3 * m * m;  // the Section 5 regime
+  if (beta + m >= n) GTEST_SKIP() << "degenerate: beta too close to n";
+  const exp::run_report report = exp::run(
+      kk_spec(n, m, beta, sim::standard_adversaries()[adversary_index].label, seed));
+  ASSERT_TRUE(report.quiescent);
   ASSERT_TRUE(report.at_most_once);
   // Lemma 5.5 per-pair bound (worst ratio over all pairs <= 1).
   EXPECT_LE(report.worst_pair_ratio, 1.0);
@@ -47,12 +57,8 @@ TEST(Work, EnvelopeRatioBoundedAcrossN) {
   const usize m = 4;
   double worst = 0;
   for (const usize n : {usize{1 << 10}, usize{1 << 12}, usize{1 << 14}}) {
-    sim::kk_sim_options opt;
-    opt.n = n;
-    opt.m = m;
-    opt.beta = 3 * m * m;
-    sim::round_robin_adversary adv;
-    const auto report = sim::run_kk<>(opt, adv);
+    const exp::run_report report =
+        exp::run(kk_spec(n, m, 3 * m * m, "round_robin"));
     const double ratio = static_cast<double>(report.total_work.total()) /
                          bounds::kk_work_envelope(n, m);
     EXPECT_LT(ratio, 4.0) << "n=" << n;
@@ -67,12 +73,8 @@ TEST(Work, SharedOpsDominatedByGatherPasses) {
   // perform-count * 2m under a fair schedule.
   const usize n = 2048;
   const usize m = 8;
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_kk<>(opt, adv);
-  ASSERT_TRUE(report.sched.quiescent);
+  const exp::run_report report = exp::run(kk_spec(n, m, 0, "round_robin"));
+  ASSERT_TRUE(report.quiescent);
   const double reads = static_cast<double>(report.total_work.shared_reads);
   const double passes = static_cast<double>(report.perform_events +
                                             report.total_collisions + m);
@@ -81,11 +83,7 @@ TEST(Work, SharedOpsDominatedByGatherPasses) {
 }
 
 TEST(Work, WritesAreAnnouncesPlusRecords) {
-  sim::kk_sim_options opt;
-  opt.n = 500;
-  opt.m = 4;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_kk<>(opt, adv);
+  const exp::run_report report = exp::run(kk_spec(500, 4, 0, "round_robin"));
   usize announces = 0;
   usize records = 0;
   for (const auto& s : report.per_process) {
@@ -102,33 +100,20 @@ TEST(Work, SmallBetaCausesMoreCollisionsThanBigBeta) {
   // under the collision-friendly stale_view schedule.
   const usize n = 4096;
   const usize m = 6;
-  sim::kk_sim_options small;
-  small.n = n;
-  small.m = m;
-  small.beta = m;
-  sim::stale_view_adversary adv1(50000);
-  const auto r_small = sim::run_kk<>(small, adv1);
+  const exp::run_report r_small =
+      exp::run(kk_spec(n, m, m, "stale_view:50000"));
+  const exp::run_report r_big =
+      exp::run(kk_spec(n, m, 3 * m * m, "stale_view:50000"));
 
-  sim::kk_sim_options big = small;
-  big.beta = 3 * m * m;
-  sim::stale_view_adversary adv2(50000);
-  const auto r_big = sim::run_kk<>(big, adv2);
-
-  ASSERT_TRUE(r_small.sched.quiescent);
-  ASSERT_TRUE(r_big.sched.quiescent);
+  ASSERT_TRUE(r_small.quiescent);
+  ASSERT_TRUE(r_big.quiescent);
   // Not a theorem for single runs, but robust in practice for this schedule;
   // guards the qualitative claim.
   EXPECT_LE(r_big.total_collisions, r_small.total_collisions + 4 * m);
 }
 
 TEST(Work, PerProcessWorkIsBalancedUnderFairSchedule) {
-  const usize n = 2000;
-  const usize m = 4;
-  sim::kk_sim_options opt;
-  opt.n = n;
-  opt.m = m;
-  sim::round_robin_adversary adv;
-  const auto report = sim::run_kk<>(opt, adv);
+  const exp::run_report report = exp::run(kk_spec(2000, 4, 0, "round_robin"));
   std::uint64_t lo = ~std::uint64_t{0};
   std::uint64_t hi = 0;
   for (const auto& s : report.per_process) {

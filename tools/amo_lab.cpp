@@ -1,0 +1,224 @@
+// amo_lab — the experiment-engine command line.
+//
+//   amo_lab list
+//       List every registered scenario with its description.
+//
+//   amo_lab run <scenario> [options]
+//       Expand one scenario into cells and run them on the sweep pool.
+//
+//   amo_lab sweep [scenario ...] [options]
+//       Run several scenarios (all of them when none are named) as one
+//       sweep. This is the CI smoke entry point.
+//
+// Options (all commands):
+//   --n=N --m=M --beta=B --eps=K     scenario parameters (sizes, 1/eps)
+//   --seed=S --seeds=R               first adversary seed / replicas
+//   --pool=P                         sweep workers (0 = hardware, 1 = serial)
+//   --out=FILE                       write the unified JSON records to FILE
+//   --no-timing                      omit wall_seconds from JSON (makes
+//                                    identical executions byte-identical)
+//   --check                          additionally run the sweep serially and
+//                                    verify pooled results are bit-identical;
+//                                    prints the speedup
+//   --quiet                          suppress the per-cell table
+//
+// Every record follows the unified schema of exp::report_fields (see
+// README.md "The experiment engine"). Exit status: 0 iff every cell was
+// safe (no duplicate do-action) and, for --check, determinism held.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace amo;
+
+struct cli_options {
+  exp::scenario_params params;
+  usize pool = 0;
+  std::string out;
+  bool no_timing = false;
+  bool check = false;
+  bool quiet = false;
+  std::vector<std::string> names;
+};
+
+bool parse_kv(const char* arg, const char* key, const char** value) {
+  const usize len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool parse_args(int argc, char** argv, int first, cli_options& opt) {
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (parse_kv(a, "--n", &v)) {
+      opt.params.n = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--m", &v)) {
+      opt.params.m = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--beta", &v)) {
+      opt.params.beta = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--eps", &v)) {
+      opt.params.eps_inv = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (parse_kv(a, "--seed", &v)) {
+      opt.params.seed = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--seeds", &v)) {
+      opt.params.seeds = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--pool", &v)) {
+      opt.pool = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--out", &v)) {
+      opt.out = v;
+    } else if (std::strcmp(a, "--no-timing") == 0) {
+      opt.no_timing = true;
+    } else if (std::strcmp(a, "--check") == 0) {
+      opt.check = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      opt.quiet = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      return false;
+    } else {
+      opt.names.emplace_back(a);
+    }
+  }
+  return true;
+}
+
+int cmd_list() {
+  text_table t({"scenario", "description"});
+  for (const exp::scenario& s : exp::scenario_registry()) {
+    t.add_row({s.name, s.description});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("%zu scenarios. Run one with: amo_lab run <scenario>\n",
+              exp::scenario_registry().size());
+  return 0;
+}
+
+void print_reports(const std::vector<exp::run_report>& reports) {
+  text_table t({"scenario", "driver", "adversary", "seed", "n", "m",
+                "effectiveness", "work", "collisions", "safe?"});
+  for (const exp::run_report& r : reports) {
+    t.add_row({r.label, exp::to_string(r.driver), r.adversary,
+               std::to_string(r.seed), fmt_count(r.n), fmt_count(r.m),
+               fmt_count(r.effectiveness), fmt_count(r.total_work.total()),
+               fmt_count(r.total_collisions), r.at_most_once ? "yes" : "NO"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
+
+int run_cells(const std::vector<exp::run_spec>& cells, const cli_options& opt) {
+  if (cells.empty()) {
+    std::fprintf(stderr, "no cells to run\n");
+    return 2;
+  }
+
+  exp::sweep_options sopt;
+  sopt.pool_size = opt.pool;
+  const exp::sweep_result pooled = exp::sweep(cells, sopt);
+
+  bool ok = true;
+  for (const exp::run_report& r : pooled.reports) ok = ok && r.at_most_once;
+
+  if (!opt.quiet) print_reports(pooled.reports);
+  std::printf("%zu cells on %zu workers in %.2fs; at-most-once: %s\n",
+              cells.size(), pooled.pool_size, pooled.wall_seconds,
+              ok ? "yes" : "VIOLATED");
+
+  if (opt.check) {
+    exp::sweep_options serial;
+    serial.pool_size = 1;
+    const exp::sweep_result ref = exp::sweep(cells, serial);
+    bool identical = ref.reports.size() == pooled.reports.size();
+    for (usize i = 0; identical && i < ref.reports.size(); ++i) {
+      // os_threads cells are inherently non-reproducible; the determinism
+      // guarantee covers scheduled cells.
+      if (cells[i].driver != exp::driver_kind::scheduled) continue;
+      identical = exp::equivalent(ref.reports[i], pooled.reports[i]);
+    }
+    std::printf("determinism check: pooled vs serial %s; speedup %.2fx\n",
+                identical ? "bit-identical" : "MISMATCH",
+                pooled.wall_seconds > 0 ? ref.wall_seconds / pooled.wall_seconds
+                                        : 0.0);
+    ok = ok && identical;
+  }
+
+  if (!opt.out.empty()) {
+    exp::json_writer json;
+    exp::add_reports(json, pooled.reports, !opt.no_timing);
+    if (json.write(opt.out.c_str())) {
+      std::printf("[%zu records -> %s]\n", json.size(), opt.out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_run(const cli_options& opt) {
+  std::vector<exp::run_spec> cells;
+  for (const std::string& name : opt.names) {
+    const std::vector<exp::run_spec> c = exp::scenario_cells(name, opt.params);
+    cells.insert(cells.end(), c.begin(), c.end());
+  }
+  return run_cells(cells, opt);
+}
+
+int cmd_sweep(const cli_options& opt) {
+  if (!opt.names.empty()) return cmd_run(opt);
+  return run_cells(exp::all_scenario_cells(opt.params), opt);
+}
+
+void usage() {
+  std::fputs(
+      "usage: amo_lab <list|run|sweep> [scenario ...] [--n=N] [--m=M] "
+      "[--beta=B]\n"
+      "               [--eps=K] [--seed=S] [--seeds=R] [--pool=P] "
+      "[--out=FILE]\n"
+      "               [--no-timing] [--check] [--quiet]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  cli_options opt;
+  if (!parse_args(argc, argv, 2, opt)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") {
+      if (opt.names.empty()) {
+        std::fprintf(stderr, "run: name at least one scenario (see amo_lab list)\n");
+        return 2;
+      }
+      return cmd_run(opt);
+    }
+    if (cmd == "sweep") return cmd_sweep(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amo_lab: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 2;
+}
