@@ -52,6 +52,8 @@ struct bucket {
   usize duplicates = 0;
   usize crashes = 0;
   usize livelocks = 0;
+  usize effectiveness = 0;
+  std::uint64_t work = 0;
 };
 
 }  // namespace
@@ -90,10 +92,12 @@ int main() {
     b.duplicates += r.perform_events - r.effectiveness;
     b.crashes += r.crashes;
     b.livelocks += r.quiescent ? 0 : 1;
+    b.effectiveness += r.effectiveness;
+    b.work += r.total_work.total();
   }
 
   text_table t({"adversary", "runs", "do-actions", "crashes", "duplicates",
-                "livelocks", "safe?"});
+                "livelocks", "work", "safe?"});
   usize grand_runs = 0;
   usize grand_dups = 0;
   for (const std::string& label : order) {
@@ -102,7 +106,8 @@ int main() {
     grand_dups += b.duplicates;
     t.add_row({label, fmt_count(b.runs), fmt_count(b.performs),
                fmt_count(b.crashes), fmt_count(b.duplicates),
-               fmt_count(b.livelocks), benchx::yesno(b.duplicates == 0)});
+               fmt_count(b.livelocks), fmt_count(b.work),
+               benchx::yesno(b.duplicates == 0)});
   }
   benchx::print_table(t);
 
@@ -134,13 +139,18 @@ int main() {
             {"bit_identical", benchx::json_report::boolean(identical)}});
   for (const std::string& label : order) {
     const bucket& b = buckets[label];
+    // effectiveness and work ride along so the CI `amo_lab diff` gate can
+    // catch effectiveness/work regressions, not just duplicates; both are
+    // deterministic sums over the seeded scheduled grid.
     json.add({{"experiment", benchx::json_report::str("E2_by_adversary")},
               {"adversary", benchx::json_report::str(label)},
               {"runs", benchx::json_report::num(std::uint64_t{b.runs})},
               {"do_actions", benchx::json_report::num(std::uint64_t{b.performs})},
               {"crashes", benchx::json_report::num(std::uint64_t{b.crashes})},
               {"duplicates", benchx::json_report::num(std::uint64_t{b.duplicates})},
-              {"livelocks", benchx::json_report::num(std::uint64_t{b.livelocks})}});
+              {"livelocks", benchx::json_report::num(std::uint64_t{b.livelocks})},
+              {"effectiveness", benchx::json_report::num(std::uint64_t{b.effectiveness})},
+              {"work", benchx::json_report::num(b.work)}});
   }
   if (json.write("BENCH_safety_sweep.json")) {
     std::printf("[%zu records -> BENCH_safety_sweep.json]\n", json.size());

@@ -1,0 +1,322 @@
+#include "exp/diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace amo::exp {
+
+namespace {
+
+/// Name table for the known schemas (exp::report_fields and the BENCH_*
+/// aggregate records). Unknown names fall through to `informational`, so a
+/// new metric starts reporting on day one and can be promoted here later.
+struct field_rule {
+  std::string_view name;
+  field_class cls;
+};
+
+constexpr field_rule kRules[] = {
+    // identity — who the cell is
+    {"experiment", field_class::identity},
+    {"scenario", field_class::identity},
+    {"label", field_class::identity},
+    {"algo", field_class::identity},
+    {"driver", field_class::identity},
+    {"memory", field_class::identity},
+    {"free_set", field_class::identity},
+    {"adversary", field_class::identity},
+    {"seed", field_class::identity},
+    {"n", field_class::identity},
+    {"m", field_class::identity},
+    {"beta", field_class::identity},
+    {"eps_inv", field_class::identity},
+    {"crash_budget", field_class::identity},
+    {"rule", field_class::identity},
+    // ignored — grid position (merge validates these; keeping them out of
+    // the identity key lets sweeps of different or reordered grids still
+    // match cells by their spec echo) and timing / environment
+    {"cell", field_class::ignored},
+    {"cells_total", field_class::ignored},
+    {"grid", field_class::ignored},
+    {"wall_seconds", field_class::ignored},
+    {"serial_wall_seconds", field_class::ignored},
+    {"pooled_wall_seconds", field_class::ignored},
+    {"speedup", field_class::ignored},
+    {"hardware_concurrency", field_class::ignored},
+    {"serial_pool", field_class::ignored},
+    {"pooled_pool", field_class::ignored},
+    {"pool", field_class::ignored},
+    // hard counters — zero tolerance for growth
+    {"duplicates", field_class::hard_counter},
+    {"livelocks", field_class::hard_counter},
+    // safety flags — true -> false is a hard failure
+    {"at_most_once", field_class::safety_flag},
+    {"quiescent", field_class::safety_flag},
+    {"wa_complete", field_class::safety_flag},
+    {"bit_identical", field_class::safety_flag},
+    {"safe", field_class::safety_flag},
+    {"complete", field_class::safety_flag},
+    // lower is worse — effectiveness family
+    {"effectiveness", field_class::lower_worse},
+    {"wa_written", field_class::lower_worse},
+    {"terminated", field_class::lower_worse},
+    {"min_effectiveness", field_class::lower_worse},
+    // higher is worse — work family
+    {"work", field_class::higher_worse},
+    {"do_actions", field_class::higher_worse},
+    {"perform_events", field_class::higher_worse},
+    {"steps", field_class::higher_worse},
+    {"shared_reads", field_class::higher_worse},
+    {"shared_writes", field_class::higher_worse},
+    {"local_ops", field_class::higher_worse},
+    {"actions", field_class::higher_worse},
+    {"collisions", field_class::higher_worse},
+    {"worst_pair_ratio", field_class::higher_worse},
+    {"trace_events", field_class::higher_worse},
+    // informational — reported, never gating
+    {"crashes", field_class::informational},
+    {"num_levels", field_class::informational},
+    {"duplicate", field_class::informational},
+    {"runs", field_class::informational},
+    {"cells", field_class::informational},
+};
+
+std::string identity_key(const record& rec) {
+  std::string key;
+  for (const record_field& f : rec.fields) {
+    if (classify_field(f.key) != field_class::identity) continue;
+    if (!key.empty()) key += ' ';
+    key += f.key;
+    key += '=';
+    key += f.type == record_field::kind::string ? f.text : f.raw;
+  }
+  return key.empty() ? "<no identity fields>" : key;
+}
+
+std::string percent(double base, double cand) {
+  if (base == 0.0) return "from 0";
+  char buf[32];
+  const double delta = 100.0 * (cand - base) / base;
+  std::snprintf(buf, sizeof buf, "%+.1f%%", delta);
+  return buf;
+}
+
+void raise(diff_severity& sev, diff_severity to) { sev = std::max(sev, to); }
+
+/// Compares one matched field pair; appends a delta when anything changed.
+void compare_field(const record_field& base, const record_field& cand,
+                   const diff_options& opt, record_delta& out) {
+  const field_class cls = classify_field(base.key);
+  if (cls == field_class::ignored || cls == field_class::identity) return;
+  if (base.raw == cand.raw) return;
+
+  field_delta d;
+  d.field = base.key;
+  d.baseline = base.raw;
+  d.candidate = cand.raw;
+  d.severity = diff_severity::info;
+  d.note = "changed";
+
+  const bool numeric = base.type == record_field::kind::number &&
+                       cand.type == record_field::kind::number;
+  switch (cls) {
+    case field_class::hard_counter:
+      if (numeric && cand.number > base.number) {
+        d.severity = diff_severity::hard_fail;
+        d.note = "new " + base.key;
+      }
+      break;
+    case field_class::safety_flag:
+      if (base.type == record_field::kind::boolean &&
+          cand.type == record_field::kind::boolean && base.truth &&
+          !cand.truth) {
+        d.severity = diff_severity::hard_fail;
+        d.note = base.key + " flipped true -> false";
+      } else {
+        d.note = base.key + " changed (not a true -> false flip)";
+      }
+      break;
+    case field_class::lower_worse:
+      if (numeric) {
+        d.note = base.key + " " + percent(base.number, cand.number);
+        if (cand.number < base.number * (1.0 - opt.tolerance)) {
+          d.severity = diff_severity::regression;
+          d.note += " (beyond tolerance)";
+        }
+      }
+      break;
+    case field_class::higher_worse:
+      if (numeric) {
+        d.note = base.key + " " + percent(base.number, cand.number);
+        if (cand.number > base.number * (1.0 + opt.tolerance)) {
+          d.severity = diff_severity::regression;
+          d.note += " (beyond tolerance)";
+        }
+      }
+      break;
+    case field_class::informational:
+    case field_class::identity:
+    case field_class::ignored:
+      break;
+  }
+  raise(out.severity, d.severity);
+  out.fields.push_back(std::move(d));
+}
+
+record_delta compare_records(const std::string& key, const record& base,
+                             const record& cand, const diff_options& opt) {
+  record_delta out;
+  out.key = key;
+  for (const record_field& bf : base.fields) {
+    const field_class cls = classify_field(bf.key);
+    if (cls == field_class::ignored || cls == field_class::identity) continue;
+    const record_field* cf = cand.find(bf.key);
+    if (cf == nullptr) {
+      // A gating metric that stops being reported would otherwise silently
+      // disable its gate — treat the disappearance as seriously as the
+      // worst change the field could have hidden.
+      field_delta d;
+      d.field = bf.key;
+      d.baseline = bf.raw;
+      if (cls == field_class::hard_counter || cls == field_class::safety_flag) {
+        d.severity = diff_severity::hard_fail;
+        d.note = "gating field removed in candidate";
+      } else if (cls == field_class::lower_worse ||
+                 cls == field_class::higher_worse) {
+        d.severity = diff_severity::regression;
+        d.note = "gating field removed in candidate";
+      } else {
+        d.severity = diff_severity::info;
+        d.note = "field removed in candidate";
+      }
+      raise(out.severity, d.severity);
+      out.fields.push_back(std::move(d));
+      continue;
+    }
+    compare_field(bf, *cf, opt, out);
+  }
+  for (const record_field& cf : cand.fields) {
+    const field_class cls = classify_field(cf.key);
+    if (cls == field_class::ignored || cls == field_class::identity) continue;
+    if (base.find(cf.key) != nullptr) continue;
+    field_delta d;
+    d.field = cf.key;
+    d.candidate = cf.raw;
+    d.severity = diff_severity::info;
+    d.note = "field added in candidate";
+    out.fields.push_back(std::move(d));
+    raise(out.severity, diff_severity::info);
+  }
+  return out;
+}
+
+/// Identity key -> record, failing on duplicate keys (two records that the
+/// diff could not tell apart make any comparison meaningless).
+bool index_records(const std::vector<record>& records, const char* side,
+                   std::unordered_map<std::string, const record*>& out,
+                   std::vector<std::string>& order, std::string& error) {
+  out.reserve(records.size());
+  for (const record& rec : records) {
+    std::string key = identity_key(rec);
+    if (!out.emplace(key, &rec).second) {
+      error = std::string(side) + " has two records with identity '" + key +
+              "' — not diffable";
+      return false;
+    }
+    order.push_back(std::move(key));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(diff_severity s) {
+  switch (s) {
+    case diff_severity::clean: return "clean";
+    case diff_severity::info: return "info";
+    case diff_severity::regression: return "REGRESSION";
+    case diff_severity::hard_fail: return "HARD FAIL";
+  }
+  return "?";
+}
+
+field_class classify_field(std::string_view name) {
+  for (const field_rule& r : kRules) {
+    if (r.name == name) return r.cls;
+  }
+  return field_class::informational;
+}
+
+diff_report report_diff(const std::vector<record>& baseline,
+                        const std::vector<record>& candidate,
+                        const diff_options& opt) {
+  diff_report out;
+
+  std::unordered_map<std::string, const record*> base_by_key;
+  std::unordered_map<std::string, const record*> cand_by_key;
+  std::vector<std::string> base_order;
+  std::vector<std::string> cand_order;
+  if (!index_records(baseline, "baseline", base_by_key, base_order, out.error) ||
+      !index_records(candidate, "candidate", cand_by_key, cand_order, out.error)) {
+    out.severity = diff_severity::hard_fail;
+    return out;
+  }
+
+  for (const std::string& key : base_order) {
+    const auto it = cand_by_key.find(key);
+    if (it == cand_by_key.end()) {
+      out.only_baseline.push_back(key);
+      raise(out.severity, diff_severity::hard_fail);
+      continue;
+    }
+    ++out.matched;
+    record_delta delta =
+        compare_records(key, *base_by_key.at(key), *it->second, opt);
+    if (!delta.fields.empty()) {
+      raise(out.severity, delta.severity);
+      out.changed.push_back(std::move(delta));
+    }
+  }
+  for (const std::string& key : cand_order) {
+    if (base_by_key.find(key) == base_by_key.end()) {
+      out.only_candidate.push_back(key);
+      raise(out.severity, diff_severity::info);
+    }
+  }
+  return out;
+}
+
+std::string format_diff(const diff_report& report) {
+  std::string out;
+  if (!report.ok()) {
+    out += "diff error: " + report.error + "\n";
+    return out;
+  }
+  for (const std::string& key : report.only_baseline) {
+    out += "HARD FAIL  cell vanished from candidate: " + key + "\n";
+  }
+  for (const std::string& key : report.only_candidate) {
+    out += "info       new cell in candidate: " + key + "\n";
+  }
+  for (const record_delta& rd : report.changed) {
+    out += std::string(to_string(rd.severity)) + "  " + rd.key + "\n";
+    for (const field_delta& fd : rd.fields) {
+      out += "    " + fd.field + ": " +
+             (fd.baseline.empty() ? "<absent>" : fd.baseline) + " -> " +
+             (fd.candidate.empty() ? "<absent>" : fd.candidate) + "  [" +
+             fd.note + "]\n";
+    }
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof tail,
+                "%zu cells matched, %zu changed, %zu only-baseline, "
+                "%zu only-candidate; verdict: %s\n",
+                report.matched, report.changed.size(),
+                report.only_baseline.size(), report.only_candidate.size(),
+                to_string(report.severity));
+  out += tail;
+  return out;
+}
+
+}  // namespace amo::exp

@@ -7,14 +7,19 @@
 
 #include "analysis/amo_checker.hpp"
 #include "analysis/collision_ledger.hpp"
+#include "baselines/tas_executor.hpp"
+#include "baselines/write_all_baselines.hpp"
 #include "core/iterative_kk.hpp"
 #include "core/wa_iterative_kk.hpp"
 #include "mem/atomic_memory.hpp"
 #include "mem/sim_memory.hpp"
+#include "model/explorer.hpp"
 #include "rt/crash_injection.hpp"
 #include "sets/fenwick_rank_set.hpp"
 #include "sets/ostree.hpp"
 #include "sim/scheduler.hpp"
+#include "util/math.hpp"
+#include "util/parse.hpp"
 #include "util/stopwatch.hpp"
 
 namespace amo::exp {
@@ -117,6 +122,41 @@ void drive_scheduled(run_report& rep, std::vector<automaton*> handles,
   // (identical to res.crashes; kept in one place).
 }
 
+/// Drives `procs` to completion under the spec's driver: the adversary-
+/// scheduled simulator, or OS threads honoring the spec's crash plan. The
+/// one place the driver dichotomy and the step-limit policy exist: an
+/// explicit spec.max_steps wins; otherwise the defensive default limit,
+/// times `limit_scale` for algorithms that run multiple levels.
+template <class Proc>
+void drive_spec(run_report& rep, std::vector<std::unique_ptr<Proc>>& procs,
+                const run_spec& s, sim::adversary* adv, usize limit_scale = 1) {
+  if (s.driver == driver_kind::scheduled) {
+    std::vector<automaton*> handles;
+    handles.reserve(procs.size());
+    for (const auto& p : procs) handles.push_back(p.get());
+    const usize limit = s.max_steps != 0
+                            ? s.max_steps
+                            : sim::default_step_limit(s.n, s.m) * limit_scale;
+    drive_scheduled(rep, std::move(handles), *adv, s.crash_budget, limit);
+  } else {
+    drive_threads(procs, to_crash_plan(s.crashes));
+  }
+}
+
+/// Work/termination/crash tally for the baseline automatons (which expose
+/// work() and the automaton probes, not the kk/iter stats structs).
+template <class Proc>
+void harvest_automata(run_report& rep,
+                      const std::vector<std::unique_ptr<Proc>>& procs) {
+  usize crashed = 0;
+  for (const auto& p : procs) {
+    rep.total_work += p->work();
+    if (p->next_action() == action_kind::terminated) ++rep.terminated;
+    if (p->next_action() == action_kind::crashed) ++crashed;
+  }
+  rep.crashes = crashed;
+}
+
 template <class M, rank_set FS>
 std::vector<std::unique_ptr<kk_process<M, FS>>> build_kk_procs(
     M& mem, const run_spec& s, amo_checker& checker, collision_ledger* ledger,
@@ -160,17 +200,7 @@ void run_kk_impl(const run_spec& s, sim::adversary* adv, const run_hooks* hooks,
                                      want_ledger ? &ledger : nullptr, hooks);
 
   stopwatch clock;
-  if (s.driver == driver_kind::scheduled) {
-    std::vector<automaton*> handles;
-    handles.reserve(procs.size());
-    for (const auto& p : procs) handles.push_back(p.get());
-    const usize limit =
-        s.max_steps == 0 ? sim::default_step_limit(s.n, s.m) : s.max_steps;
-    drive_scheduled(rep, std::move(handles), *adv, s.crash_budget, limit);
-  } else {
-    const rt::crash_plan plan = to_crash_plan(s.crashes);
-    drive_threads(procs, plan);
-  }
+  drive_spec(rep, procs, s, adv);
   rep.wall_seconds = clock.seconds();
 
   harvest_checker(rep, checker);
@@ -212,20 +242,8 @@ void run_iter_impl(const run_spec& s, sim::adversary* adv,
   }
 
   stopwatch clock;
-  if (s.driver == driver_kind::scheduled) {
-    std::vector<automaton*> handles;
-    handles.reserve(procs.size());
-    for (const auto& p : procs) handles.push_back(p.get());
-    // The iterated algorithm runs 3 + 1/eps levels; scale the default limit.
-    const usize limit = s.max_steps == 0
-                            ? sim::default_step_limit(s.n, s.m) *
-                                  (shared.plan.levels.size() + 1)
-                            : s.max_steps;
-    drive_scheduled(rep, std::move(handles), *adv, s.crash_budget, limit);
-  } else {
-    const rt::crash_plan plan = to_crash_plan(s.crashes);
-    drive_threads(procs, plan);
-  }
+  // The iterated algorithm runs 3 + 1/eps levels; scale the default limit.
+  drive_spec(rep, procs, s, adv, shared.plan.levels.size() + 1);
   rep.wall_seconds = clock.seconds();
 
   harvest_checker(rep, checker);
@@ -237,10 +255,130 @@ void run_iter_impl(const run_spec& s, sim::adversary* adv,
     rep.wa_written = wa.count_set();
     rep.wa_complete = wa.complete();
     rep.effectiveness = rep.wa_written;
+    // Write-All duplicates are legal; report the true do-action count so
+    // perform_events means the same thing in every family.
+    rep.perform_events = 0;
+    for (const auto& p : procs) rep.perform_events += p->perform_count();
   }
 }
 
+void run_tas_impl(const run_spec& s, sim::adversary* adv, const run_hooks* hooks,
+                  run_report& rep) {
+  baseline::tas_board board(s.n);
+  amo_checker checker(s.n);
+  std::vector<std::unique_ptr<baseline::tas_process>> procs;
+  procs.reserve(s.m);
+  for (process_id pid = 1; pid <= s.m; ++pid) {
+    procs.push_back(std::make_unique<baseline::tas_process>(
+        board, s.m, pid, [&checker, hooks](process_id p, job_id j) {
+          checker.record(p, j);
+          if (hooks != nullptr && hooks->on_perform) hooks->on_perform(p, j);
+        }));
+  }
+
+  stopwatch clock;
+  drive_spec(rep, procs, s, adv);
+  rep.wall_seconds = clock.seconds();
+
+  harvest_checker(rep, checker);
+  harvest_automata(rep, procs);
+  if (s.driver == driver_kind::os_threads) {
+    rep.total_steps = rep.total_work.actions;
+  }
+}
+
+/// The three registers-model Write-All baseline automatons. They write the
+/// shared array directly (no per-perform callback exists), so
+/// run_hooks.on_perform is not observable here.
+template <class Proc>
+void run_wa_baseline_impl(const run_spec& s, sim::adversary* adv,
+                          run_report& rep) {
+  write_all_array wa(s.n);
+  std::unique_ptr<baseline::wa_count_tree> tree;
+  std::vector<std::unique_ptr<Proc>> procs;
+  procs.reserve(s.m);
+  for (process_id pid = 1; pid <= s.m; ++pid) {
+    if constexpr (std::is_same_v<Proc, baseline::wa_split_scan_process>) {
+      procs.push_back(std::make_unique<Proc>(wa, s.m, pid));
+    } else if constexpr (std::is_same_v<Proc,
+                                        baseline::wa_progress_tree_process>) {
+      if (!tree) {
+        tree = std::make_unique<baseline::wa_count_tree>(ceil_div(s.n, 64));
+      }
+      procs.push_back(std::make_unique<Proc>(wa, *tree, pid, 64));
+    } else {
+      procs.push_back(std::make_unique<Proc>(wa, pid));
+    }
+  }
+
+  stopwatch clock;
+  drive_spec(rep, procs, s, adv);
+  rep.wall_seconds = clock.seconds();
+
+  harvest_automata(rep, procs);
+  rep.wa_written = wa.count_set();
+  rep.wa_complete = wa.complete();
+  rep.effectiveness = rep.wa_written;
+  // Duplicate writes are legal (and, for wa_trivial, the design): report
+  // the true do-action count, same meaning as in every other family.
+  rep.perform_events = 0;
+  for (const auto& p : procs) rep.perform_events += p->perform_count();
+}
+
+/// Exhaustive exploration mapped onto the run_report vocabulary:
+/// total_steps = transitions, total_work.local_ops = states visited,
+/// terminated = quiescent states, effectiveness = the minimum job count over
+/// all quiescent states (the exhaustively-proven worst case), quiescent =
+/// "fully explored and acyclic", at_most_once = "no duplicate anywhere".
+void run_model_impl(const run_spec& s, run_report& rep) {
+  if (s.n > model::max_jobs || s.m > model::max_procs) {
+    bad_spec("model_explore handles n <= " + std::to_string(model::max_jobs) +
+             ", m <= " + std::to_string(model::max_procs) + " only");
+  }
+  model::explore_options opt;
+  opt.cfg.n = s.n;
+  opt.cfg.m = s.m;
+  opt.cfg.beta = s.beta == 0 ? s.m : s.beta;
+  opt.cfg.rule = s.rule;
+  opt.cfg.mode = kk_mode::plain;
+  opt.cfg.crash_budget = s.crash_budget;
+  if (s.max_steps != 0) opt.max_states = s.max_steps;
+
+  stopwatch clock;
+  const model::explore_result res = model::explore(opt);
+  rep.wall_seconds = clock.seconds();
+
+  rep.adversary = "exhaustive";
+  rep.seed = 0;
+  rep.total_steps = res.transitions;
+  rep.total_work.local_ops = res.states;
+  rep.quiescent = res.complete && !res.cycle_found;
+  rep.terminated = res.quiescent_states;
+  rep.at_most_once = !res.duplicate_found;
+  rep.effectiveness =
+      res.min_effectiveness == ~usize{0} ? 0 : res.min_effectiveness;
+  rep.perform_events = rep.effectiveness;
+}
+
 run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
+  // Family validation runs before the degenerate-universe shortcut: an
+  // invalid spec must throw, not return a vacuously passing report.
+  if (s.algo == algo_family::ao2) {
+    // AO2 is KK_beta with the two-ends selection rule at its only valid
+    // operating point; normalize so the report echoes resolved values.
+    if (s.m != 2) bad_spec("ao2 is the two-process building block (m must be 2)");
+    s.beta = 1;
+    s.rule = selection_rule::two_ends;
+  }
+  const bool wa_baseline = s.algo == algo_family::wa_trivial ||
+                           s.algo == algo_family::wa_split_scan ||
+                           s.algo == algo_family::wa_progress_tree;
+  if ((wa_baseline || s.algo == algo_family::model_explore) &&
+      s.driver != driver_kind::scheduled) {
+    bad_spec("write-all baselines and model_explore run under the scheduled "
+             "driver only");
+  }
+
   if (s.n == 0 || s.m == 0) {
     // Degenerate universes run to (vacuous) quiescence immediately; the
     // legacy entry points accepted them, so the engine does too.
@@ -248,7 +386,10 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
     echo_spec(rep, s);
     rep.adversary = s.adversary.name;
     rep.seed = s.adversary.seed;
-    rep.wa_complete = s.algo == algo_family::wa_iterative;
+    rep.wa_complete = s.algo == algo_family::wa_iterative ||
+                      s.algo == algo_family::wa_trivial ||
+                      s.algo == algo_family::wa_split_scan ||
+                      s.algo == algo_family::wa_progress_tree;
     return rep;
   }
   if (s.driver == driver_kind::os_threads) {
@@ -258,9 +399,14 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
       !(s.algo == algo_family::kk && s.memory == memory_kind::sim)) {
     bad_spec("fenwick/ostree free sets are supported for kk over sim memory only");
   }
-
   run_report rep;
   echo_spec(rep, s);
+
+  if (s.algo == algo_family::model_explore) {
+    // No adversary to resolve: the explorer IS every adversary at once.
+    run_model_impl(s, rep);
+    return rep;
+  }
 
   // Scheduled driver: resolve the adversary, optionally wrapped to record.
   std::unique_ptr<sim::adversary> owned;
@@ -293,6 +439,7 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
 
   switch (s.algo) {
     case algo_family::kk:
+    case algo_family::ao2:
       if (s.memory == memory_kind::sim) {
         switch (s.free_set) {
           case free_set_kind::bitset:
@@ -317,28 +464,24 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
         run_iter_impl<atomic_memory>(s, adv, hooks, rep);
       }
       break;
+    case algo_family::tas:
+      run_tas_impl(s, adv, hooks, rep);
+      break;
+    case algo_family::wa_trivial:
+      run_wa_baseline_impl<baseline::wa_trivial_process>(s, adv, rep);
+      break;
+    case algo_family::wa_split_scan:
+      run_wa_baseline_impl<baseline::wa_split_scan_process>(s, adv, rep);
+      break;
+    case algo_family::wa_progress_tree:
+      run_wa_baseline_impl<baseline::wa_progress_tree_process>(s, adv, rep);
+      break;
+    case algo_family::model_explore:
+      break;  // handled before adversary resolution
   }
 
   if (s.record_trace) rep.trace = std::move(recorded);
   return rep;
-}
-
-}  // namespace
-
-namespace {
-
-/// Parses the "N" of "prefix:N"; false when absent, malformed or > 2^64-1.
-bool parse_u64(std::string_view text, std::uint64_t& out) {
-  if (text.empty()) return false;
-  std::uint64_t v = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return false;
-    const auto digit = static_cast<std::uint64_t>(c - '0');
-    if (v > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
-    v = v * 10 + digit;
-  }
-  out = v;
-  return true;
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "exp/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amo::exp {
+
+namespace {
+
+/// Reads field `key` as a non-negative integer; false when absent,
+/// non-numeric or fractional.
+bool read_index(const record& rec, const char* key, usize& out) {
+  const record_field* f = rec.find(key);
+  if (f == nullptr || f->type != record_field::kind::number) return false;
+  if (f->number < 0 || f->number != std::floor(f->number)) return false;
+  out = static_cast<usize>(f->number);
+  return true;
+}
+
+}  // namespace
+
+merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
+  merge_result out;
+
+  struct indexed {
+    usize cell;
+    usize shard;
+    const record* rec;
+  };
+  std::vector<indexed> all;
+  std::string grid;  ///< the "grid" fingerprint the shards must agree on
+  for (usize si = 0; si < shards.size(); ++si) {
+    for (const record& rec : shards[si]) {
+      usize cell = 0;
+      usize total = 0;
+      if (!read_index(rec, "cell", cell) ||
+          !read_index(rec, "cells_total", total)) {
+        out.error = "shard " + std::to_string(si) +
+                    ": record without integer cell/cells_total fields "
+                    "(not a sharded sweep output?)";
+        return out;
+      }
+      if (all.empty() && out.cells_total == 0) out.cells_total = total;
+      if (total != out.cells_total) {
+        out.error = "shard " + std::to_string(si) + ": cells_total " +
+                    std::to_string(total) + " disagrees with " +
+                    std::to_string(out.cells_total) +
+                    " (shards of different grids?)";
+        return out;
+      }
+      // Equal cell counts are not grid agreement: the fingerprint covers
+      // every spec of the full grid, so shards of a *different* sweep of
+      // the same size are refused too.
+      const record_field* g = rec.find("grid");
+      const std::string this_grid =
+          g != nullptr && g->type == record_field::kind::string ? g->text : "";
+      if (all.empty()) grid = this_grid;
+      if (this_grid != grid) {
+        out.error = "shard " + std::to_string(si) + ": grid fingerprint '" +
+                    this_grid + "' disagrees with '" + grid +
+                    "' (shards of different sweeps)";
+        return out;
+      }
+      if (cell >= total) {
+        out.error = "shard " + std::to_string(si) + ": cell index " +
+                    std::to_string(cell) + " out of range [0, " +
+                    std::to_string(total) + ")";
+        return out;
+      }
+      all.push_back({cell, si, &rec});
+    }
+  }
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const indexed& a, const indexed& b) { return a.cell < b.cell; });
+
+  for (usize i = 0; i + 1 < all.size(); ++i) {
+    if (all[i].cell == all[i + 1].cell) {
+      out.error = "duplicate cell " + std::to_string(all[i].cell) +
+                  " (shards " + std::to_string(all[i].shard) + " and " +
+                  std::to_string(all[i + 1].shard) + " both ran it)";
+      return out;
+    }
+  }
+  if (all.size() != out.cells_total) {
+    // Find the first gap for the message.
+    usize expect = 0;
+    for (const indexed& e : all) {
+      if (e.cell != expect) break;
+      ++expect;
+    }
+    out.error = "coverage gap: cell " + std::to_string(expect) +
+                " missing (" + std::to_string(all.size()) + " of " +
+                std::to_string(out.cells_total) + " cells present)";
+    return out;
+  }
+
+  out.records.reserve(all.size());
+  for (const indexed& e : all) out.records.push_back(*e.rec);
+  return out;
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,32 @@
+// Recombines sharded sweep outputs into the byte-identical equivalent of
+// the unsharded sweep.
+//
+// Every record amo_lab emits carries its global "cell" index plus the full
+// grid size "cells_total"; merging sorts the union of all shard files by
+// that index and re-renders it through the shared record layer. The
+// contract is strict: the shards must agree on cells_total, and the union
+// must cover 0..cells_total-1 with no duplicate and no gap — anything else
+// (a shard run twice, a shard missing, shards from different grids) is an
+// error, not a best-effort output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+
+namespace amo::exp {
+
+struct merge_result {
+  std::vector<record> records;  ///< sorted by cell index; empty on error
+  usize cells_total = 0;        ///< the grid size the shards agreed on
+  std::string error;            ///< empty on success
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Merges the records of several shard files (each element = one file's
+/// parsed records, any order).
+merge_result merge_shards(const std::vector<std::vector<record>>& shards);
+
+}  // namespace amo::exp

@@ -130,6 +130,86 @@ std::vector<scenario> build_registry() {
       },
   });
 
+  // Baselines: the comparison set of experiments E7/E8 as sweepable
+  // scenarios, so a standard sweep exercises every executable claim.
+  reg.push_back({
+      "baseline/ao2",
+      "two-process AO2 building block of [26] (two-ends rule) under crashes",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::ao2, "baseline/ao2");
+        s.m = 2;     // AO2 is inherently two-process
+        s.beta = 0;  // resolved to its required beta = 1 by the engine
+        s.adversary.name = "random+crash";
+        s.crash_budget = 1;
+        return seed_replicas(std::move(s), p);
+      },
+  });
+  reg.push_back({
+      "baseline/tas",
+      "test-and-set executor (RMW, outside the model): the n - f strawman",
+      [](const scenario_params& p) {
+        run_spec s = base_spec(p, algo_family::tas, "baseline/tas");
+        s.adversary.name = "random+crash";
+        s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+        return seed_replicas(std::move(s), p);
+      },
+  });
+  const struct {
+    algo_family algo;
+    const char* name;
+    const char* desc;
+  } wa_baselines[] = {
+      {algo_family::wa_trivial, "baseline/wa_trivial",
+       "Write-All baseline: everyone writes everything (m*n work ceiling)"},
+      {algo_family::wa_split_scan, "baseline/wa_split_scan",
+       "Write-All baseline: own block first, then help-scan the rest"},
+      {algo_family::wa_progress_tree, "baseline/wa_progress_tree",
+       "Write-All baseline: W-style advisory count tree heuristic"},
+  };
+  for (const auto& b : wa_baselines) {
+    reg.push_back({
+        b.name,
+        b.desc,
+        [algo = b.algo, name = std::string(b.name)](const scenario_params& p) {
+          run_spec s = base_spec(p, algo, name);
+          s.adversary.name = "random+crash";
+          s.crash_budget = p.m > 0 ? p.m - 1 : 0;
+          return seed_replicas(std::move(s), p);
+        },
+    });
+  }
+
+  // Exhaustive model checking as sweep cells: sizes clamp to the model's
+  // tiny universe, and the cells are deterministic (the explorer IS every
+  // adversary at once, so p.seeds does not multiply them).
+  reg.push_back({
+      "model/explore",
+      "exhaustive exploration of small KK instances (Lemma 4.1 / Thm 4.4)",
+      [](const scenario_params& p) {
+        std::vector<run_spec> cells;
+        run_spec worst;
+        worst.label = "model/explore";
+        worst.algo = algo_family::model_explore;
+        worst.n = std::min<usize>(p.n, 5);
+        worst.m = 2;
+        worst.beta = 2;
+        worst.crash_budget = 1;  // f = m-1: Theorem 4.4's tight setting
+        cells.push_back(worst);
+        run_spec crash_free = worst;
+        crash_free.crash_budget = 0;
+        cells.push_back(crash_free);
+        if (p.m >= 3) {
+          run_spec three = worst;
+          three.n = std::min<usize>(p.n, 4);
+          three.m = 3;
+          three.beta = 3;
+          three.crash_budget = 0;
+          cells.push_back(three);
+        }
+        return cells;
+      },
+  });
+
   // Real-thread runtime: hardware supplies the interleaving, so these cells
   // are not bit-reproducible — they validate safety, not determinism.
   reg.push_back({

@@ -5,7 +5,8 @@
 // exp::sweep. The set covers every adversary in standard_adversaries(),
 // the Theorem 4.4 announce_crash worst case (with its required
 // crash_budget = m-1), trace replays, the iterated and Write-All
-// algorithms, and the real-thread runtime.
+// algorithms, the comparison baselines (AO2, TAS, the Write-All baseline
+// suite), exhaustive model exploration, and the real-thread runtime.
 #pragma once
 
 #include <functional>

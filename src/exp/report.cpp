@@ -120,4 +120,26 @@ void add_reports(json_writer& out, const std::vector<run_report>& reports,
   }
 }
 
+void add_sweep_records(json_writer& out, const std::vector<run_report>& reports,
+                       const std::vector<usize>& cell_indices,
+                       usize cells_total, std::uint64_t grid,
+                       bool include_timing) {
+  char grid_hex[20];
+  std::snprintf(grid_hex, sizeof grid_hex, "%016llx",
+                static_cast<unsigned long long>(grid));
+  for (usize i = 0; i < reports.size(); ++i) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.reserve(35);
+    fields.emplace_back("cell",
+                        json_writer::num(std::uint64_t{cell_indices[i]}));
+    fields.emplace_back("cells_total",
+                        json_writer::num(std::uint64_t{cells_total}));
+    fields.emplace_back("grid", json_writer::str(grid_hex));
+    auto rest = report_fields(reports[i], include_timing);
+    fields.insert(fields.end(), std::make_move_iterator(rest.begin()),
+                  std::make_move_iterator(rest.end()));
+    out.add(fields);
+  }
+}
+
 }  // namespace amo::exp

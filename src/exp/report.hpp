@@ -57,4 +57,15 @@ class json_writer {
 void add_reports(json_writer& out, const std::vector<run_report>& reports,
                  bool include_timing = true);
 
+/// Sweep-grid records: report_fields prefixed with the record's global grid
+/// position {"cell": cell_indices[i], "cells_total": cells_total} and the
+/// grid's fingerprint {"grid": hex of exp::grid_fingerprint(full grid)}.
+/// These fields are what exp::merge_shards keys on, and emitting them from
+/// unsharded sweeps too is what makes merge output byte-identical to a
+/// one-shot run. Requires cell_indices.size() == reports.size().
+void add_sweep_records(json_writer& out, const std::vector<run_report>& reports,
+                       const std::vector<usize>& cell_indices,
+                       usize cells_total, std::uint64_t grid,
+                       bool include_timing = true);
+
 }  // namespace amo::exp

@@ -1,0 +1,95 @@
+#include "exp/shard.hpp"
+
+#include "util/parse.hpp"
+
+namespace amo::exp {
+
+bool parse_shard(std::string_view text, shard_ref& out) {
+  const usize slash = text.find('/');
+  if (slash == std::string_view::npos) return false;
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  if (!parse_u64(text.substr(0, slash), index) ||
+      !parse_u64(text.substr(slash + 1), count)) {
+    return false;
+  }
+  const shard_ref s{static_cast<usize>(index), static_cast<usize>(count)};
+  if (!s.valid()) return false;
+  out = s;
+  return true;
+}
+
+std::string to_string(const shard_ref& s) {
+  return std::to_string(s.index) + "/" + std::to_string(s.count);
+}
+
+std::vector<usize> shard_indices(usize total_cells, const shard_ref& s) {
+  std::vector<usize> indices;
+  if (!s.valid()) return indices;
+  indices.reserve(total_cells / s.count + 1);
+  for (usize i = s.index; i < total_cells; i += s.count) indices.push_back(i);
+  return indices;
+}
+
+std::vector<run_spec> shard_cells(const std::vector<run_spec>& all,
+                                  const shard_ref& s) {
+  std::vector<run_spec> cells;
+  const std::vector<usize> indices = shard_indices(all.size(), s);
+  cells.reserve(indices.size());
+  for (const usize i : indices) cells.push_back(all[i]);
+  return cells;
+}
+
+namespace {
+
+/// FNV-1a over the bytes of everything that makes a spec's value identity.
+struct fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* data, usize len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (usize i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+  void str(const std::string& s) {
+    const usize len = s.size();
+    bytes(&len, sizeof len);  // length-prefixed: "ab"+"c" != "a"+"bc"
+    bytes(s.data(), len);
+  }
+  template <class T>
+  void value(const T& v) {
+    bytes(&v, sizeof v);
+  }
+};
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const std::vector<run_spec>& cells) {
+  fnv1a f;
+  f.value(cells.size());
+  for (const run_spec& s : cells) {
+    f.str(s.label);
+    f.value(s.algo);
+    f.value(s.driver);
+    f.value(s.memory);
+    f.value(s.free_set);
+    f.value(s.n);
+    f.value(s.m);
+    f.value(s.beta);
+    f.value(s.eps_inv);
+    f.value(s.rule);
+    f.value(s.crash_budget);
+    f.value(s.max_steps);
+    f.str(s.adversary.name);
+    f.value(s.adversary.seed);
+    f.value(s.crashes.what);
+    for (const usize c : s.crashes.per_thread) f.value(c);
+    f.value(s.crashes.count);
+    f.value(s.record_trace);
+  }
+  return f.h;
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,53 @@
+// Deterministic k-way partition of a sweep grid — the distribution layer
+// that lets one logical sweep run across processes or hosts.
+//
+// Shard i of k owns exactly the cells whose global index is congruent to i
+// modulo k (a strided partition: balanced even when cell cost varies with
+// grid position, as it does when n or m grows along one axis). Because
+// every cell is a pure function of its run_spec, a sharded sweep followed
+// by exp::merge_shards reproduces the unsharded sweep byte-for-byte; the
+// partition itself is pure arithmetic, so any two invocations — on any
+// host — agree on the assignment.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace amo::exp {
+
+/// One slice of a k-way partition, written "i/k" on the command line.
+struct shard_ref {
+  usize index = 0;  ///< i, in [0, count)
+  usize count = 1;  ///< k >= 1; 1/1 means "the whole grid"
+
+  [[nodiscard]] bool valid() const { return count >= 1 && index < count; }
+
+  friend bool operator==(const shard_ref&, const shard_ref&) = default;
+};
+
+/// Parses "i/k" (e.g. "0/3"). Returns false — leaving `out` untouched — on
+/// malformed input, k = 0, or i >= k.
+bool parse_shard(std::string_view text, shard_ref& out);
+
+/// The canonical "i/k" spelling.
+std::string to_string(const shard_ref& s);
+
+/// Global indices of the cells shard `s` owns, ascending:
+/// {s.index, s.index + s.count, s.index + 2*s.count, ...} below total_cells.
+std::vector<usize> shard_indices(usize total_cells, const shard_ref& s);
+
+/// The owned cells themselves, in shard_indices order.
+std::vector<run_spec> shard_cells(const std::vector<run_spec>& all,
+                                  const shard_ref& s);
+
+/// Order-sensitive 64-bit fingerprint of a whole grid (every spec, in cell
+/// order). Sweep records carry it as the "grid" field, which is how
+/// exp::merge_shards refuses shards of *different* grids even when their
+/// cell counts happen to agree. Shard invocations fingerprint the full
+/// grid, not their slice, so all shards of one sweep agree.
+std::uint64_t grid_fingerprint(const std::vector<run_spec>& cells);
+
+}  // namespace amo::exp

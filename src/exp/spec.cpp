@@ -7,6 +7,12 @@ const char* to_string(algo_family f) {
     case algo_family::kk: return "kk";
     case algo_family::iterative: return "iterative";
     case algo_family::wa_iterative: return "wa_iterative";
+    case algo_family::ao2: return "ao2";
+    case algo_family::tas: return "tas";
+    case algo_family::wa_trivial: return "wa_trivial";
+    case algo_family::wa_split_scan: return "wa_split_scan";
+    case algo_family::wa_progress_tree: return "wa_progress_tree";
+    case algo_family::model_explore: return "model_explore";
   }
   return "?";
 }

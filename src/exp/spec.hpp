@@ -23,11 +23,27 @@
 
 namespace amo::exp {
 
-/// Which of the paper's algorithms the run executes.
+/// Which algorithm the run executes: the paper's three, the comparison
+/// baselines, and exhaustive model exploration. Everything a sweep grid can
+/// name shares this one axis, so sharded sweeps exercise every executable
+/// claim the repo makes.
 enum class algo_family : std::uint8_t {
   kk,            ///< plain KK_beta (Sections 3-5)
   iterative,     ///< IterativeKK(eps) (Section 6)
   wa_iterative,  ///< WA_IterativeKK(eps) — Write-All (Section 7)
+
+  // --- baselines (src/baselines/) ---
+  ao2,               ///< [26]-style two-process building block: kk with
+                     ///< selection_rule::two_ends, beta = 1, m = 2 enforced
+  tas,               ///< test-and-set executor (RMW, outside the model)
+  wa_trivial,        ///< Write-All: everyone writes everything (m*n work)
+  wa_split_scan,     ///< Write-All: own block, then help-scan the rest
+  wa_progress_tree,  ///< Write-All: W-style advisory count tree
+
+  // --- model checking (src/model/) ---
+  model_explore,  ///< exhaustive exploration of EVERY schedule and crash
+                  ///< placement (n <= 10, m <= 3); scheduled driver only,
+                  ///< the adversary spec is ignored ("exhaustive")
 };
 
 /// What supplies the interleaving.
@@ -93,6 +109,7 @@ struct run_spec {
   selection_rule rule = selection_rule::paper_rank;
   usize crash_budget = 0;  ///< scheduled driver: the paper's f
   usize max_steps = 0;     ///< scheduled driver: 0 = default_step_limit
+                           ///< (model_explore: explorer state cap, 0 = default)
 
   adversary_spec adversary;  ///< scheduled driver
   crash_spec crashes;        ///< os_threads driver
@@ -128,7 +145,8 @@ struct run_report {
 
   // --- safety / effectiveness ---
   usize effectiveness = 0;   ///< Do(alpha): distinct jobs performed
-  usize perform_events = 0;  ///< total do actions (== effectiveness iff correct)
+  usize perform_events = 0;  ///< total do actions; == effectiveness iff no
+                             ///< duplicates (write-all families legally exceed it)
   bool at_most_once = true;
   job_id duplicate = no_job;
 

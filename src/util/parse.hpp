@@ -1,0 +1,26 @@
+// Overflow-checked decimal parsing, shared by the adversary-name parser
+// (engine.cpp) and the shard-reference parser (shard.cpp) — one definition
+// of "what counts as a number on a command line".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace amo {
+
+/// Parses an entire non-negative decimal string. False — leaving `out`
+/// untouched — when empty, containing any non-digit, or > 2^64 - 1.
+[[nodiscard]] inline bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace amo

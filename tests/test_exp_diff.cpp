@@ -1,0 +1,264 @@
+// The record layer and report_diff: parse ∘ render is the identity on
+// json_writer documents, diff(x, x) is empty, and every severity class
+// fires on exactly the change it was built for.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/diff.hpp"
+#include "exp/record.hpp"
+#include "exp/report.hpp"
+
+namespace amo {
+namespace {
+
+using exp::diff_severity;
+using exp::field_class;
+
+// --- the flat record layer ---
+
+TEST(Record, ParseRenderRoundTripsWriterOutput) {
+  exp::json_writer json;
+  json.add({{"scenario", exp::json_writer::str("kk/weird \"label\"\n\x01")},
+            {"work", "12345"},
+            {"ratio", exp::json_writer::num(0.25)},
+            {"safe", exp::json_writer::boolean(true)}});
+  json.add({{"scenario", exp::json_writer::str("other")},
+            {"work", "0"},
+            {"safe", exp::json_writer::boolean(false)}});
+  const std::string doc = json.dump();
+
+  const exp::parse_result parsed = exp::parse_records(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0].fields.size(), 4u);
+  EXPECT_EQ(exp::render_records(parsed.records), doc);
+
+  const exp::record_field* scenario = parsed.records[0].find("scenario");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->type, exp::record_field::kind::string);
+  EXPECT_EQ(scenario->text, "kk/weird \"label\"\n\x01");  // escapes decoded
+  const exp::record_field* work = parsed.records[0].find("work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->type, exp::record_field::kind::number);
+  EXPECT_EQ(work->number, 12345.0);
+  const exp::record_field* safe = parsed.records[1].find("safe");
+  ASSERT_NE(safe, nullptr);
+  EXPECT_FALSE(safe->truth);
+}
+
+TEST(Record, ParseAcceptsForeignWhitespaceAndEmpty) {
+  const exp::parse_result spaced = exp::parse_records(
+      "\n  [ { \"a\" : 1 ,\t\"b\" : \"x\" } ,\r\n { \"a\" : -2.5e3 } ]\n\n");
+  ASSERT_TRUE(spaced.ok()) << spaced.error;
+  ASSERT_EQ(spaced.records.size(), 2u);
+  EXPECT_EQ(spaced.records[1].find("a")->number, -2500.0);
+
+  EXPECT_TRUE(exp::parse_records("[]").ok());
+  EXPECT_TRUE(exp::parse_records("[ {} ]").ok());
+}
+
+TEST(Record, SurrogatePairsDecodeToUtf8) {
+  // A non-BMP codepoint split across two \u escapes must decode to the
+  // same bytes as the raw UTF-8 spelling, or diff/merge identity keys
+  // would treat identical cells as different.
+  const exp::parse_result p =
+      exp::parse_records("[\n  {\"a\": \"\\ud83d\\ude00\"}\n]\n");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.records[0].find("a")->text, "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(exp::parse_records("[{\"a\": \"\\ud83d\"}]").ok());  // lone high
+  EXPECT_FALSE(exp::parse_records("[{\"a\": \"\\ude00x\"}]").ok()); // lone low
+  EXPECT_FALSE(exp::parse_records("[{\"a\": \"\\ud83d\\u0041\"}]").ok());
+}
+
+TEST(Record, ParseRejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[ {\"a\": } ]", "[ {\"a\": 1} ", "[ {\"a\": [1]} ]",
+        "[ {\"a\": {\"b\": 1}} ]", "[ {\"a\": 1} ] trailing",
+        "[ {\"a\": 1e} ]", "[ {\"a\" 1} ]", "[ {\"a\": \"unterminated} ]"}) {
+    const exp::parse_result parsed = exp::parse_records(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(parsed.records.empty());
+  }
+  // Errors carry the line number.
+  const exp::parse_result nested =
+      exp::parse_records("[\n  {\"a\": 1},\n  {\"b\": [2]}\n]\n");
+  EXPECT_NE(nested.error.find("line 3"), std::string::npos) << nested.error;
+}
+
+// --- field classification ---
+
+TEST(Diff, FieldClassificationCoversTheSchemas) {
+  EXPECT_EQ(exp::classify_field("scenario"), field_class::identity);
+  EXPECT_EQ(exp::classify_field("adversary"), field_class::identity);
+  // Grid position is merge's concern, not part of diff identity: sweeps of
+  // reordered/extended grids must still match cells by their spec echo.
+  EXPECT_EQ(exp::classify_field("cell"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("cells_total"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("wall_seconds"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("speedup"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("duplicates"), field_class::hard_counter);
+  EXPECT_EQ(exp::classify_field("livelocks"), field_class::hard_counter);
+  EXPECT_EQ(exp::classify_field("at_most_once"), field_class::safety_flag);
+  EXPECT_EQ(exp::classify_field("quiescent"), field_class::safety_flag);
+  EXPECT_EQ(exp::classify_field("effectiveness"), field_class::lower_worse);
+  EXPECT_EQ(exp::classify_field("work"), field_class::higher_worse);
+  EXPECT_EQ(exp::classify_field("do_actions"), field_class::higher_worse);
+  EXPECT_EQ(exp::classify_field("crashes"), field_class::informational);
+  // Unknown metrics report instead of gating.
+  EXPECT_EQ(exp::classify_field("brand_new_metric"), field_class::informational);
+}
+
+// --- report_diff ---
+
+/// Builds a two-record document shaped like the amo_lab sweep output.
+std::vector<exp::record> sample(const char* work0, const char* eff0,
+                                const char* amo0 = "true") {
+  const std::string doc = std::string("[\n") +
+      "  {\"scenario\": \"kk/random\", \"seed\": 1, \"n\": 100, " +
+      "\"effectiveness\": " + eff0 + ", \"work\": " + work0 +
+      ", \"at_most_once\": " + amo0 + ", \"wall_seconds\": 0.5},\n" +
+      "  {\"scenario\": \"kk/random\", \"seed\": 2, \"n\": 100, " +
+      "\"effectiveness\": 98, \"work\": 2000, \"at_most_once\": true, " +
+      "\"wall_seconds\": 1.5}\n]\n";
+  exp::parse_result parsed = exp::parse_records(doc);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  return std::move(parsed.records);
+}
+
+TEST(Diff, SelfDiffIsClean) {
+  const std::vector<exp::record> x = sample("1000", "97");
+  const exp::diff_report d = exp::report_diff(x, x);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.severity, diff_severity::clean);
+  EXPECT_TRUE(d.changed.empty());
+  EXPECT_EQ(d.matched, 2u);
+  EXPECT_TRUE(d.only_baseline.empty());
+  EXPECT_TRUE(d.only_candidate.empty());
+}
+
+TEST(Diff, TimingChangesAreInvisible) {
+  std::vector<exp::record> base = sample("1000", "97");
+  std::vector<exp::record> cand = sample("1000", "97");
+  // Wildly different wall clocks must not even count as a change.
+  for (exp::record& r : cand) {
+    for (exp::record_field& f : r.fields) {
+      if (f.key == "wall_seconds") f.raw = "999.0";
+    }
+  }
+  const exp::diff_report d = exp::report_diff(base, cand);
+  EXPECT_EQ(d.severity, diff_severity::clean);
+  EXPECT_TRUE(d.changed.empty());
+}
+
+TEST(Diff, WorkRegressionGatesOnTolerance) {
+  const std::vector<exp::record> base = sample("1000", "97");
+  const std::vector<exp::record> within = sample("1040", "97");  // +4%
+  const std::vector<exp::record> beyond = sample("1200", "97");  // +20%
+
+  exp::diff_options tol5;
+  tol5.tolerance = 0.05;
+  EXPECT_EQ(exp::report_diff(base, within, tol5).severity, diff_severity::info);
+  EXPECT_EQ(exp::report_diff(base, beyond, tol5).severity,
+            diff_severity::regression);
+  // An *improvement* never gates.
+  EXPECT_EQ(exp::report_diff(beyond, base, tol5).severity, diff_severity::info);
+
+  exp::diff_options tol50;
+  tol50.tolerance = 0.5;
+  EXPECT_EQ(exp::report_diff(base, beyond, tol50).severity,
+            diff_severity::info);
+}
+
+TEST(Diff, EffectivenessLossGatesOnTolerance) {
+  const std::vector<exp::record> base = sample("1000", "100");
+  const std::vector<exp::record> slight = sample("1000", "97");  // -3%
+  const std::vector<exp::record> heavy = sample("1000", "50");   // -50%
+  EXPECT_EQ(exp::report_diff(base, slight).severity, diff_severity::info);
+  const exp::diff_report d = exp::report_diff(base, heavy);
+  EXPECT_EQ(d.severity, diff_severity::regression);
+  ASSERT_EQ(d.changed.size(), 1u);
+  EXPECT_EQ(d.changed[0].fields[0].field, "effectiveness");
+}
+
+TEST(Diff, SafetyFlipIsHardFailure) {
+  const std::vector<exp::record> base = sample("1000", "97", "true");
+  const std::vector<exp::record> bad = sample("1000", "97", "false");
+  EXPECT_EQ(exp::report_diff(base, bad).severity, diff_severity::hard_fail);
+  // false -> true is an improvement, not a failure.
+  EXPECT_EQ(exp::report_diff(bad, base).severity, diff_severity::info);
+}
+
+TEST(Diff, NewDuplicatesAndLivelocksAreHardFailures) {
+  const auto parse = [](const char* duplicates, const char* livelocks) {
+    const std::string doc = std::string("[\n  {\"experiment\": \"E2\", ") +
+        "\"adversary\": \"random\", \"duplicates\": " + duplicates +
+        ", \"livelocks\": " + livelocks + ", \"do_actions\": 500}\n]\n";
+    exp::parse_result parsed = exp::parse_records(doc);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return std::move(parsed.records);
+  };
+  const std::vector<exp::record> clean = parse("0", "0");
+  EXPECT_EQ(exp::report_diff(clean, parse("1", "0")).severity,
+            diff_severity::hard_fail);
+  EXPECT_EQ(exp::report_diff(clean, parse("0", "2")).severity,
+            diff_severity::hard_fail);
+  // Equal (even nonzero) counts are not *new* — diff(x, x) stays empty.
+  const std::vector<exp::record> dirty = parse("3", "0");
+  EXPECT_EQ(exp::report_diff(dirty, dirty).severity, diff_severity::clean);
+}
+
+TEST(Diff, RemovedGatingFieldStillGates) {
+  // Dropping a gated metric from the candidate must not silently disable
+  // its gate.
+  const auto parse = [](const std::string& fields) {
+    exp::parse_result parsed = exp::parse_records(
+        "[\n  {\"scenario\": \"x\", \"seed\": 1" + fields + "}\n]\n");
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return std::move(parsed.records);
+  };
+  const std::vector<exp::record> full =
+      parse(", \"duplicates\": 0, \"work\": 100, \"crashes\": 2");
+  EXPECT_EQ(exp::report_diff(full, parse(", \"work\": 100, \"crashes\": 2"))
+                .severity,
+            diff_severity::hard_fail);  // hard counter vanished
+  EXPECT_EQ(exp::report_diff(full, parse(", \"duplicates\": 0, \"crashes\": 2"))
+                .severity,
+            diff_severity::regression);  // tolerance-gated metric vanished
+  EXPECT_EQ(exp::report_diff(full, parse(", \"duplicates\": 0, \"work\": 100"))
+                .severity,
+            diff_severity::info);  // informational field vanished
+}
+
+TEST(Diff, MissingBaselineCellIsHardNewCellIsInfo) {
+  const std::vector<exp::record> base = sample("1000", "97");
+  std::vector<exp::record> shrunk = sample("1000", "97");
+  shrunk.pop_back();
+  const exp::diff_report missing = exp::report_diff(base, shrunk);
+  EXPECT_EQ(missing.severity, diff_severity::hard_fail);
+  ASSERT_EQ(missing.only_baseline.size(), 1u);
+
+  const exp::diff_report grown = exp::report_diff(shrunk, base);
+  EXPECT_EQ(grown.severity, diff_severity::info);
+  ASSERT_EQ(grown.only_candidate.size(), 1u);
+}
+
+TEST(Diff, IdentityCollisionIsAnError) {
+  std::vector<exp::record> base = sample("1000", "97");
+  base.push_back(base[0]);  // two cells the diff cannot tell apart
+  const exp::diff_report d = exp::report_diff(base, base);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.severity, diff_severity::hard_fail);
+}
+
+TEST(Diff, FormatMentionsTheVerdict) {
+  const std::vector<exp::record> base = sample("1000", "97");
+  const std::vector<exp::record> bad = sample("5000", "97");
+  const std::string text = exp::format_diff(exp::report_diff(base, bad));
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+  EXPECT_NE(text.find("work"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace amo

@@ -9,10 +9,12 @@
 #include <stdexcept>
 
 #include "analysis/bounds.hpp"
+#include "baselines/kkns_style.hpp"
 #include "exp/engine.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "sim/adversary.hpp"
 
 namespace amo {
 namespace {
@@ -229,6 +231,153 @@ TEST(ExpRegistry, AnnounceCrashScenarioIsTight) {
   const exp::run_report r = exp::run(cells[0]);
   EXPECT_EQ(r.effectiveness, bounds::kk_effectiveness(p.n, p.m, p.m));
   EXPECT_EQ(r.crashes, p.m - 1);
+}
+
+// --- baseline and model families ---
+
+TEST(ExpEngine, Ao2MatchesTheLegacyBaselineRunner) {
+  // algo_family::ao2 must reproduce baseline::run_ao2 exactly: same
+  // adversary, same seed, same effectiveness and charged work.
+  for (const std::uint64_t seed : {1ull, 5ull}) {
+    exp::run_spec s;
+    s.algo = exp::algo_family::ao2;
+    s.n = 500;
+    s.m = 2;
+    s.crash_budget = 1;
+    s.adversary = {"random+crash:1/100", seed};
+    const exp::run_report r = exp::run(s);
+
+    sim::random_adversary adv(seed, 1, 100);
+    const sim::kk_sim_report legacy = baseline::run_ao2(s.n, 1, adv);
+    EXPECT_EQ(r.effectiveness, legacy.effectiveness) << "seed " << seed;
+    EXPECT_EQ(r.total_work.total(), legacy.total_work.total());
+    EXPECT_TRUE(r.at_most_once);
+    EXPECT_EQ(r.beta, 1u);  // the engine resolves ao2's required beta
+  }
+  // AO2 is inherently two-process — including for degenerate universes,
+  // which must not slip past validation as vacuous successes.
+  for (const usize bad_m : {usize{3}, usize{0}}) {
+    exp::run_spec bad;
+    bad.algo = exp::algo_family::ao2;
+    bad.n = 100;
+    bad.m = bad_m;
+    EXPECT_THROW((void)exp::run(bad), std::invalid_argument) << bad_m;
+  }
+}
+
+TEST(ExpEngine, TasBaselinePerformsEverythingWhenCrashFree) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::tas;
+  s.n = 400;
+  s.m = 4;
+  s.adversary = {"random", 3};
+  const exp::run_report r = exp::run(s);
+  EXPECT_TRUE(r.at_most_once);  // TAS claiming is trivially at-most-once
+  EXPECT_EQ(r.effectiveness, s.n);  // with RMW nothing is lost (f = 0)
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(r.terminated, s.m);
+  EXPECT_GT(r.total_work.total(), 0u);
+}
+
+TEST(ExpEngine, TasBaselineRunsOnOsThreads) {
+  // The TAS board is std::atomic by construction, so it is the one baseline
+  // family that also runs under the real-thread driver.
+  exp::run_spec s;
+  s.algo = exp::algo_family::tas;
+  s.driver = exp::driver_kind::os_threads;
+  s.n = 1000;
+  s.m = 4;
+  const exp::run_report r = exp::run(s);
+  EXPECT_TRUE(r.at_most_once);
+  EXPECT_EQ(r.effectiveness, s.n);
+  EXPECT_EQ(r.terminated, s.m);
+  EXPECT_EQ(r.memory, exp::memory_kind::atomic);  // coerced for threads
+  EXPECT_EQ(r.total_steps, r.total_work.actions);
+
+  // Crashing all but one thread after its first claim loses at most one
+  // claimed-but-unperformed job per crashed thread.
+  exp::run_spec crashy = s;
+  crashy.crashes.what = exp::crash_spec::kind::after_first_announce;
+  crashy.crashes.count = s.m - 1;
+  const exp::run_report c = exp::run(crashy);
+  EXPECT_TRUE(c.at_most_once);
+  EXPECT_EQ(c.crashes, s.m - 1);
+  EXPECT_GE(c.effectiveness, crashy.n - (s.m - 1));
+}
+
+TEST(ExpEngine, WriteAllBaselinesCompleteCrashFree) {
+  for (const exp::algo_family algo :
+       {exp::algo_family::wa_trivial, exp::algo_family::wa_split_scan,
+        exp::algo_family::wa_progress_tree}) {
+    exp::run_spec s;
+    s.algo = algo;
+    s.n = 300;
+    s.m = 3;
+    s.adversary = {"round_robin", 1};
+    const exp::run_report r = exp::run(s);
+    EXPECT_TRUE(r.quiescent) << exp::to_string(algo);
+    EXPECT_TRUE(r.wa_complete) << exp::to_string(algo);
+    EXPECT_EQ(r.wa_written, s.n) << exp::to_string(algo);
+    EXPECT_GE(r.total_work.total(), s.n) << exp::to_string(algo);
+  }
+  // wa_trivial's work ceiling is exactly m writes per cell plus the final
+  // terminated-check action per process — and every one of those m*n
+  // writes is a (legal) do-action, so perform_events records them all.
+  exp::run_spec triv;
+  triv.algo = exp::algo_family::wa_trivial;
+  triv.n = 128;
+  triv.m = 4;
+  triv.adversary = {"round_robin", 1};
+  const exp::run_report tr = exp::run(triv);
+  EXPECT_GE(tr.total_work.actions, triv.n * triv.m);
+  EXPECT_EQ(tr.perform_events, triv.n * triv.m);
+  EXPECT_EQ(tr.effectiveness, triv.n);
+}
+
+TEST(ExpEngine, WriteAllSplitScanSurvivesCrashes) {
+  // One survivor suffices: f = m-1 random crashes, completion must hold.
+  exp::run_spec s;
+  s.algo = exp::algo_family::wa_split_scan;
+  s.n = 200;
+  s.m = 4;
+  s.crash_budget = 3;
+  s.adversary = {"random+crash:1/50", 11};
+  const exp::run_report r = exp::run(s);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_TRUE(r.wa_complete);
+  EXPECT_EQ(r.wa_written, s.n);
+}
+
+TEST(ExpEngine, ModelExploreProvesTheorem44OnTinyInstances) {
+  exp::run_spec s;
+  s.algo = exp::algo_family::model_explore;
+  s.n = 5;
+  s.m = 2;
+  s.beta = 2;
+  s.crash_budget = 1;  // f = m-1
+  const exp::run_report r = exp::run(s);
+  EXPECT_TRUE(r.at_most_once);       // Lemma 4.1, over EVERY execution
+  EXPECT_TRUE(r.quiescent);          // fully explored, acyclic
+  EXPECT_EQ(r.adversary, "exhaustive");
+  // Theorem 4.4: min effectiveness over all quiescent states is exactly
+  // n - (beta + m - 2).
+  EXPECT_EQ(r.effectiveness, s.n - (s.beta + s.m - 2));
+  EXPECT_GT(r.total_steps, 0u);            // transitions
+  EXPECT_GT(r.total_work.local_ops, 0u);   // states visited
+  EXPECT_GT(r.terminated, 0u);             // quiescent states
+
+  // Size guard: the packed model handles n <= 10, m <= 3 only.
+  exp::run_spec big = s;
+  big.n = 64;
+  EXPECT_THROW((void)exp::run(big), std::invalid_argument);
+  // And it is a scheduled-driver family — checked even for degenerate
+  // universes (validation precedes the n == 0 shortcut).
+  for (const usize n : {s.n, usize{0}}) {
+    exp::run_spec threads = s;
+    threads.n = n;
+    threads.driver = exp::driver_kind::os_threads;
+    EXPECT_THROW((void)exp::run(threads), std::invalid_argument) << n;
+  }
 }
 
 TEST(ExpRegistry, TraceReplayScenarioReproduces) {

@@ -8,12 +8,30 @@
 //
 //   amo_lab sweep [scenario ...] [options]
 //       Run several scenarios (all of them when none are named) as one
-//       sweep. This is the CI smoke entry point.
+//       sweep. With --shard=i/k, run only the cells whose global index is
+//       congruent to i modulo k; the emitted records carry their global
+//       "cell" index, so `amo_lab merge` can reassemble the k shard files
+//       into the byte-identical equivalent of the unsharded sweep.
 //
-// Options (all commands):
+//   amo_lab merge <shard.json ...> --out=FILE
+//       Recombine shard outputs: sorts by cell index, verifies the shards
+//       agree on the grid and cover every cell exactly once (no duplicate,
+//       no gap), and writes the merged array (stdout when --out is absent).
+//
+//   amo_lab diff <baseline.json> <candidate.json> [--tol=T]
+//       Compare two record files cell by cell (amo_lab sweeps or any
+//       BENCH_*.json) and classify every change; see exit status below.
+//
+//   amo_lab help
+//       This text, on stdout, exit 0 (also --help / -h).
+//
+// Options (run/sweep):
 //   --n=N --m=M --beta=B --eps=K     scenario parameters (sizes, 1/eps)
 //   --seed=S --seeds=R               first adversary seed / replicas
 //   --pool=P                         sweep workers (0 = hardware, 1 = serial)
+//   --shard=i/k                      run shard i of k (sweep; 0 <= i < k)
+//   --scheduled-only                 drop os_threads cells (hardware-timed,
+//                                    so not byte-reproducible across runs)
 //   --out=FILE                       write the unified JSON records to FILE
 //   --no-timing                      omit wall_seconds from JSON (makes
 //                                    identical executions byte-identical)
@@ -21,19 +39,35 @@
 //                                    verify pooled results are bit-identical;
 //                                    prints the speedup
 //   --quiet                          suppress the per-cell table
+// Options (diff):
+//   --tol=T                          relative tolerance for work /
+//                                    effectiveness drift (default 0.05)
 //
-// Every record follows the unified schema of exp::report_fields (see
-// README.md "The experiment engine"). Exit status: 0 iff every cell was
-// safe (no duplicate do-action) and, for --check, determinism held.
+// Every record follows the unified flat schema (see docs/json_schema.md):
+// exp::report_fields prefixed, for run/sweep output, with the global grid
+// position {"cell", "cells_total"}.
+//
+// Exit status:
+//   run/sweep   0 = every cell safe (and --check held); 1 = violation
+//   merge       0 = merged; 2 = duplicate/gap/grid mismatch; 3 = I/O, parse
+//   diff        0 = clean or benign drift; 1 = effectiveness/work regression
+//               beyond tolerance; 2 = hard failure (new duplicates or
+//               livelocks, safety flag flipped, baseline cell missing);
+//               3 = I/O, parse
+//   any         2 = usage error (unknown command, unknown scenario, bad flag)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "exp/diff.hpp"
 #include "exp/engine.hpp"
+#include "exp/merge.hpp"
+#include "exp/record.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
+#include "exp/shard.hpp"
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
 
@@ -48,7 +82,11 @@ struct cli_options {
   bool no_timing = false;
   bool check = false;
   bool quiet = false;
-  std::vector<std::string> names;
+  bool scheduled_only = false;
+  bool have_shard = false;
+  exp::shard_ref shard;
+  double tol = 0.05;
+  std::vector<std::string> names;  ///< scenario names, or files for merge/diff
 };
 
 bool parse_kv(const char* arg, const char* key, const char** value) {
@@ -78,10 +116,25 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       opt.params.seeds = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--pool", &v)) {
       opt.pool = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--shard", &v)) {
+      if (!exp::parse_shard(v, opt.shard)) {
+        std::fprintf(stderr, "bad shard '%s': want i/k with 0 <= i < k\n", v);
+        return false;
+      }
+      opt.have_shard = true;
+    } else if (parse_kv(a, "--tol", &v)) {
+      char* end = nullptr;
+      opt.tol = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.tol < 0) {
+        std::fprintf(stderr, "bad tolerance '%s'\n", v);
+        return false;
+      }
     } else if (parse_kv(a, "--out", &v)) {
       opt.out = v;
     } else if (std::strcmp(a, "--no-timing") == 0) {
       opt.no_timing = true;
+    } else if (std::strcmp(a, "--scheduled-only") == 0) {
+      opt.scheduled_only = true;
     } else if (std::strcmp(a, "--check") == 0) {
       opt.check = true;
     } else if (std::strcmp(a, "--quiet") == 0) {
@@ -96,7 +149,36 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
   return true;
 }
 
-int cmd_list() {
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: amo_lab <command> [args] [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                           registered scenarios + descriptions\n"
+      "  run <scenario ...>             expand + run the named scenarios\n"
+      "  sweep [scenario ...]           run many scenarios (default: all);\n"
+      "                                 --shard=i/k runs slice i of a k-way\n"
+      "                                 partition (cells with index = i mod k)\n"
+      "  merge <shard.json ...>         recombine shard outputs (byte-identical\n"
+      "                                 to the unsharded sweep; duplicate/gap\n"
+      "                                 detection)\n"
+      "  diff <base.json> <cand.json>   classify changes cell-by-cell; exits\n"
+      "                                 1 on work/effectiveness regression\n"
+      "                                 beyond --tol, 2 on new duplicates/\n"
+      "                                 livelocks or missing cells\n"
+      "  help                           this text\n"
+      "\n"
+      "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R --pool=P\n"
+      "         --shard=i/k --scheduled-only --out=FILE --no-timing --check\n"
+      "         --quiet --tol=T\n",
+      to);
+}
+
+int cmd_list(const cli_options& opt) {
+  if (!opt.names.empty()) {
+    std::fprintf(stderr, "list takes no scenario arguments\n");
+    return 2;
+  }
   text_table t({"scenario", "description"});
   for (const exp::scenario& s : exp::scenario_registry()) {
     t.add_row({s.name, s.description});
@@ -119,10 +201,24 @@ void print_reports(const std::vector<exp::run_report>& reports) {
   std::fputs(t.render().c_str(), stdout);
 }
 
-int run_cells(const std::vector<exp::run_spec>& cells, const cli_options& opt) {
-  if (cells.empty()) {
+int run_cells(std::vector<exp::run_spec> all, const cli_options& opt) {
+  if (opt.scheduled_only) {
+    std::erase_if(all, [](const exp::run_spec& s) {
+      return s.driver != exp::driver_kind::scheduled;
+    });
+  }
+  if (all.empty()) {
     std::fprintf(stderr, "no cells to run\n");
     return 2;
+  }
+
+  const exp::shard_ref shard =
+      opt.have_shard ? opt.shard : exp::shard_ref{0, 1};
+  const std::vector<usize> indices = exp::shard_indices(all.size(), shard);
+  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
+  if (opt.have_shard) {
+    std::printf("shard %s: %zu of %zu cells\n", exp::to_string(shard).c_str(),
+                cells.size(), all.size());
   }
 
   exp::sweep_options sopt;
@@ -137,7 +233,7 @@ int run_cells(const std::vector<exp::run_spec>& cells, const cli_options& opt) {
               cells.size(), pooled.pool_size, pooled.wall_seconds,
               ok ? "yes" : "VIOLATED");
 
-  if (opt.check) {
+  if (opt.check && !cells.empty()) {
     exp::sweep_options serial;
     serial.pool_size = 1;
     const exp::sweep_result ref = exp::sweep(cells, serial);
@@ -157,7 +253,8 @@ int run_cells(const std::vector<exp::run_spec>& cells, const cli_options& opt) {
 
   if (!opt.out.empty()) {
     exp::json_writer json;
-    exp::add_reports(json, pooled.reports, !opt.no_timing);
+    exp::add_sweep_records(json, pooled.reports, indices, all.size(),
+                           exp::grid_fingerprint(all), !opt.no_timing);
     if (json.write(opt.out.c_str())) {
       std::printf("[%zu records -> %s]\n", json.size(), opt.out.c_str());
     } else {
@@ -174,7 +271,7 @@ int cmd_run(const cli_options& opt) {
     const std::vector<exp::run_spec> c = exp::scenario_cells(name, opt.params);
     cells.insert(cells.end(), c.begin(), c.end());
   }
-  return run_cells(cells, opt);
+  return run_cells(std::move(cells), opt);
 }
 
 int cmd_sweep(const cli_options& opt) {
@@ -182,31 +279,86 @@ int cmd_sweep(const cli_options& opt) {
   return run_cells(exp::all_scenario_cells(opt.params), opt);
 }
 
-void usage() {
-  std::fputs(
-      "usage: amo_lab <list|run|sweep> [scenario ...] [--n=N] [--m=M] "
-      "[--beta=B]\n"
-      "               [--eps=K] [--seed=S] [--seeds=R] [--pool=P] "
-      "[--out=FILE]\n"
-      "               [--no-timing] [--check] [--quiet]\n",
-      stderr);
+int cmd_merge(const cli_options& opt) {
+  if (opt.names.empty()) {
+    std::fprintf(stderr, "merge: name at least one shard file\n");
+    return 2;
+  }
+  std::vector<std::vector<exp::record>> shards;
+  shards.reserve(opt.names.size());
+  for (const std::string& file : opt.names) {
+    exp::parse_result parsed = exp::parse_records_file(file.c_str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "amo_lab merge: %s\n", parsed.error.c_str());
+      return 3;
+    }
+    shards.push_back(std::move(parsed.records));
+  }
+  const exp::merge_result merged = exp::merge_shards(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "amo_lab merge: %s\n", merged.error.c_str());
+    return 2;
+  }
+  if (opt.out.empty()) {
+    std::fputs(exp::render_records(merged.records).c_str(), stdout);
+  } else if (exp::write_records_file(opt.out.c_str(), merged.records)) {
+    std::printf("[%zu cells from %zu shards -> %s]\n", merged.records.size(),
+                shards.size(), opt.out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_diff(const cli_options& opt) {
+  if (opt.names.size() != 2) {
+    std::fprintf(stderr, "diff: need exactly <baseline.json> <candidate.json>\n");
+    return 2;
+  }
+  exp::parse_result base = exp::parse_records_file(opt.names[0].c_str());
+  exp::parse_result cand = exp::parse_records_file(opt.names[1].c_str());
+  if (!base.ok() || !cand.ok()) {
+    std::fprintf(stderr, "amo_lab diff: %s\n",
+                 (!base.ok() ? base.error : cand.error).c_str());
+    return 3;
+  }
+  exp::diff_options dopt;
+  dopt.tolerance = opt.tol;
+  const exp::diff_report report =
+      exp::report_diff(base.records, cand.records, dopt);
+  if (!opt.quiet || report.severity != exp::diff_severity::clean) {
+    std::fputs(exp::format_diff(report).c_str(), stdout);
+  }
+  if (!report.ok()) return 2;
+  switch (report.severity) {
+    case exp::diff_severity::clean:
+    case exp::diff_severity::info: return 0;
+    case exp::diff_severity::regression: return 1;
+    case exp::diff_severity::hard_fail: return 2;
+  }
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage(stdout);
+    return 0;
+  }
   cli_options opt;
   if (!parse_args(argc, argv, 2, opt)) {
-    usage();
+    usage(stderr);
     return 2;
   }
   try {
-    if (cmd == "list") return cmd_list();
+    if (cmd == "list") return cmd_list(opt);
     if (cmd == "run") {
       if (opt.names.empty()) {
         std::fprintf(stderr, "run: name at least one scenario (see amo_lab list)\n");
@@ -215,10 +367,13 @@ int main(int argc, char** argv) {
       return cmd_run(opt);
     }
     if (cmd == "sweep") return cmd_sweep(opt);
+    if (cmd == "merge") return cmd_merge(opt);
+    if (cmd == "diff") return cmd_diff(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "amo_lab: %s\n", e.what());
     return 2;
   }
-  usage();
+  std::fprintf(stderr, "amo_lab: unknown command '%s'\n", cmd.c_str());
+  usage(stderr);
   return 2;
 }
