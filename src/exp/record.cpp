@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "exp/report.hpp"
+#include "util/fileio.hpp"
 
 namespace amo::exp {
 
@@ -297,21 +298,8 @@ parse_result parse_records(std::string_view doc) {
 
 parse_result parse_records_file(const char* path) {
   parse_result out;
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) {
-    out.error = std::string("cannot open ") + path;
-    return out;
-  }
   std::string doc;
-  char buf[1 << 16];
-  usize got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) doc.append(buf, got);
-  const bool read_ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!read_ok) {
-    out.error = std::string("cannot read ") + path;
-    return out;
-  }
+  if (!read_file(path, doc, out.error)) return out;
   out = parse_records(doc);
   if (!out.ok()) out.error = std::string(path) + ": " + out.error;
   return out;
@@ -331,11 +319,7 @@ std::string render_records(const std::vector<record>& records) {
 }
 
 bool write_records_file(const char* path, const std::vector<record>& records) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) return false;
-  const std::string doc = render_records(records);
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  return (std::fclose(f) == 0) && ok;
+  return write_file(path, render_records(records));
 }
 
 }  // namespace amo::exp

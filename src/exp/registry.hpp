@@ -25,6 +25,8 @@ struct scenario_params {
   unsigned eps_inv = 2;   ///< iterative families
   std::uint64_t seed = 1; ///< first adversary seed
   usize seeds = 2;        ///< seed replicas per scenario
+
+  friend bool operator==(const scenario_params&, const scenario_params&) = default;
 };
 
 struct scenario {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/fileio.hpp"
+
 namespace amo::exp {
 
 std::string json_writer::num(double v) {
@@ -66,11 +68,7 @@ std::string json_writer::dump() const {
 }
 
 bool json_writer::write(const char* path) const {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) return false;
-  const std::string doc = dump();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  return (std::fclose(f) == 0) && ok;
+  return write_file(path, dump());
 }
 
 std::vector<std::pair<std::string, std::string>> report_fields(

@@ -42,6 +42,31 @@ const char* to_string(free_set_kind f) {
   return "?";
 }
 
+bool from_string(std::string_view name, algo_family& out) {
+  for (const algo_family f :
+       {algo_family::kk, algo_family::iterative, algo_family::wa_iterative,
+        algo_family::ao2, algo_family::tas, algo_family::wa_trivial,
+        algo_family::wa_split_scan, algo_family::wa_progress_tree,
+        algo_family::model_explore}) {
+    if (name == to_string(f)) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool from_string(std::string_view name, free_set_kind& out) {
+  for (const free_set_kind f : {free_set_kind::bitset, free_set_kind::fenwick,
+                                free_set_kind::ostree}) {
+    if (name == to_string(f)) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool equivalent(const run_report& a, const run_report& b) {
   // Everything deterministic; label/adversary/seed are identity not outcome
   // (a replay reproduces the execution under a different adversary name),

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/kk_process.hpp"
@@ -65,6 +66,12 @@ enum class free_set_kind : std::uint8_t { bitset, fenwick, ostree };
 [[nodiscard]] const char* to_string(driver_kind d);
 [[nodiscard]] const char* to_string(memory_kind m);
 [[nodiscard]] const char* to_string(free_set_kind f);
+
+/// Inverse of to_string(algo_family) — how text formats (the trace corpus,
+/// job files) name an algorithm. False on an unrecognized name, leaving
+/// `out` untouched.
+[[nodiscard]] bool from_string(std::string_view name, algo_family& out);
+[[nodiscard]] bool from_string(std::string_view name, free_set_kind& out);
 
 /// Names an adversary the engine can construct on demand (scheduled driver).
 /// Recognized names: every standard_adversaries() label (round_robin,

@@ -1,13 +1,12 @@
 #include "exp/sweep.hpp"
 
 #include "exp/engine.hpp"
-#include "exp/thread_pool.hpp"
+#include "svc/worker_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace amo::exp {
 
-sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt) {
-  thread_pool pool(opt.pool_size);
+sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
   sweep_result out;
   out.reports.resize(cells.size());
 
@@ -16,6 +15,11 @@ sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt)
       cells.size(), [&](usize i) { out.reports[i] = run(cells[i]); });
   out.wall_seconds = clock.seconds();
   return out;
+}
+
+sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt) {
+  svc::worker_pool pool(opt.pool_size);
+  return sweep(cells, pool);
 }
 
 }  // namespace amo::exp

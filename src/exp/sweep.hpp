@@ -3,11 +3,21 @@
 // so per-cell results are bit-identical regardless of pool size or execution
 // order; results come back in cell order. This replaces the hand-rolled
 // serial triple-loops the bench binaries used to carry.
+//
+// Two entry points: the options form spins up a pool for this one sweep
+// (the original PR 2 behaviour), the svc::worker_pool form runs the cells
+// on a caller-owned persistent pool — the service path, where one pool
+// outlives thousands of small sweeps and thread startup is paid once
+// (bench_pool measures the difference). Both produce identical reports.
 #pragma once
 
 #include <vector>
 
 #include "exp/spec.hpp"
+
+namespace amo::svc {
+class worker_pool;
+}  // namespace amo::svc
 
 namespace amo::exp {
 
@@ -29,5 +39,9 @@ struct sweep_result {
 /// left default-constructed).
 sweep_result sweep(const std::vector<run_spec>& cells,
                    const sweep_options& opt = {});
+
+/// Same contract, on a caller-owned long-lived pool (no threads spawned
+/// here). Byte-identical reports to the options form at any pool size.
+sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool);
 
 }  // namespace amo::exp

@@ -1,0 +1,146 @@
+#include "svc/dispatcher.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "exp/merge.hpp"
+
+#if defined(_WIN32)
+#error "svc::dispatcher uses popen/WEXITSTATUS; no Windows port yet"
+#endif
+#include <sys/wait.h>
+
+namespace amo::svc {
+
+namespace {
+
+void replace_all(std::string& s, std::string_view what, std::string_view with) {
+  usize pos = 0;
+  while ((pos = s.find(what, pos)) != std::string::npos) {
+    s.replace(pos, what.size(), with);
+    pos += with.size();
+  }
+}
+
+/// popen with combined stdout+stderr, full capture, decoded exit status.
+void run_subprocess(shard_run& run) {
+  const std::string cmd = run.command + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    run.exit_code = -1;
+    return;
+  }
+  char buf[4096];
+  usize got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    run.output.append(buf, got);
+  }
+  const int status = ::pclose(pipe);
+  if (status == -1) {
+    run.exit_code = -1;
+  } else if (WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+  } else {
+    run.exit_code = 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+  }
+}
+
+}  // namespace
+
+std::string expand_command(const std::string& tmpl, const std::string& self,
+                           const std::string& args,
+                           const exp::shard_ref& shard,
+                           const std::string& out_file) {
+  std::string cmd = tmpl;
+  replace_all(cmd, "{self}", self);
+  replace_all(cmd, "{args}", args);
+  replace_all(cmd, "{shard}", exp::to_string(shard));
+  replace_all(cmd, "{out}", out_file);
+  return cmd;
+}
+
+dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
+  dispatch_result out;
+  if (opt.shards == 0) {
+    out.error = "dispatch: need at least one shard";
+    out.exit_code = 2;
+    return out;
+  }
+
+  out.shards.resize(opt.shards);
+  for (usize i = 0; i < opt.shards; ++i) {
+    shard_run& run = out.shards[i];
+    run.shard = {i, opt.shards};
+    run.file = opt.dir + "/dispatch-shard-" + std::to_string(i) + "of" +
+               std::to_string(opt.shards) + ".json";
+    run.command = expand_command(opt.command, opt.self, args, run.shard,
+                                 run.file);
+  }
+
+  {
+    // All shards in flight at once: the point of dispatching is that the
+    // k partitions run on k processes (or k hosts, via the template).
+    std::vector<std::jthread> launchers;
+    launchers.reserve(opt.shards);
+    for (shard_run& run : out.shards) {
+      launchers.emplace_back(run_subprocess, std::ref(run));
+    }
+  }  // join
+
+  int worst = 0;
+  for (const shard_run& run : out.shards) {
+    if (!opt.quiet) {
+      std::fprintf(stderr, "dispatch: shard %s exit %d (%s)\n",
+                   exp::to_string(run.shard).c_str(), run.exit_code,
+                   run.command.c_str());
+    }
+    worst = std::max(worst, run.exit_code == -1 ? 2 : run.exit_code);
+  }
+  if (worst > 1 || worst < 0) {
+    for (const shard_run& run : out.shards) {
+      if (run.exit_code != 0 && run.exit_code != 1) {
+        out.error = "shard " + exp::to_string(run.shard) + " failed (exit " +
+                    std::to_string(run.exit_code) + "): " + run.command;
+        break;
+      }
+    }
+    out.exit_code = 2;
+    return out;
+  }
+
+  std::vector<std::vector<exp::record>> shard_records;
+  shard_records.reserve(opt.shards);
+  for (const shard_run& run : out.shards) {
+    exp::parse_result parsed = exp::parse_records_file(run.file.c_str());
+    if (!parsed.ok()) {
+      out.error = parsed.error;
+      out.exit_code = 3;
+      return out;
+    }
+    shard_records.push_back(std::move(parsed.records));
+  }
+
+  exp::merge_result merged = exp::merge_shards(shard_records);
+  if (!merged.ok()) {
+    out.error = merged.error;
+    out.exit_code = 2;
+    return out;
+  }
+  out.merged = std::move(merged.records);
+
+  if (!opt.out.empty() &&
+      !exp::write_records_file(opt.out.c_str(), out.merged)) {
+    out.error = "cannot write " + opt.out;
+    out.exit_code = 3;
+    return out;
+  }
+
+  if (!opt.keep_shards) {
+    for (const shard_run& run : out.shards) std::remove(run.file.c_str());
+  }
+  out.exit_code = worst;  // 0, or 1 when a shard flagged a safety violation
+  return out;
+}
+
+}  // namespace amo::svc

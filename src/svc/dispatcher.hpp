@@ -1,0 +1,74 @@
+// svc::dispatcher — one command in, k shard processes out, one merged
+// JSON back.
+//
+// PR 3 added the partition/merge layer (`--shard=i/k` + exp::merge_shards)
+// but left the launch glue to hand-rolled CI matrices. The dispatcher is
+// that driver: it expands a command template once per shard, runs the k
+// commands as concurrent subprocesses, waits, parses the shard files they
+// wrote, and pipes them through exp::merge_shards — so a k-way distributed
+// sweep is one call, and its merged output is byte-identical to the
+// one-shot sweep whenever the shard commands are deterministic (pass
+// --no-timing; asserted by `cmp` in CI).
+//
+// The template is the pluggable part: the default
+//
+//   {self} {args} --shard={shard} --out={out}
+//
+// runs local subprocesses, and pushing the same sweep over ssh or a k8s
+// pod is a config string ("ssh host1 '{self} {args} ...'"), not new code.
+// Placeholders: {self} = this binary, {args} = the job arguments, {shard} =
+// i/k, {out} = the shard's output file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+#include "exp/shard.hpp"
+
+namespace amo::svc {
+
+struct dispatch_options {
+  usize shards = 2;        ///< k >= 1
+  std::string self;        ///< {self}: path to the amo_lab binary
+  std::string command =
+      "{self} {args} --shard={shard} --out={out}";  ///< launch template
+  std::string dir = ".";   ///< where shard files are written
+  std::string out;         ///< merged output path; "" = caller keeps records
+  bool keep_shards = false;///< leave the per-shard files behind
+  bool quiet = false;      ///< suppress per-shard progress on stderr
+};
+
+/// One launched shard subprocess.
+struct shard_run {
+  exp::shard_ref shard;
+  std::string file;     ///< the shard's --out file
+  std::string command;  ///< the expanded command line
+  int exit_code = -1;   ///< subprocess exit status (-1: could not launch)
+  std::string output;   ///< captured stdout+stderr
+};
+
+struct dispatch_result {
+  std::vector<shard_run> shards;
+  std::vector<exp::record> merged;  ///< merged records (also on error: empty)
+  std::string error;                ///< empty on success
+  /// amo_lab convention: 0 clean; 1 = a shard reported a safety violation
+  /// (exit 1) but everything merged; 2 = launch/merge hard failure;
+  /// 3 = shard output unreadable or merged output unwritable.
+  int exit_code = 0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Expands the launch template for one shard (exposed for tests).
+[[nodiscard]] std::string expand_command(const std::string& tmpl,
+                                         const std::string& self,
+                                         const std::string& args,
+                                         const exp::shard_ref& shard,
+                                         const std::string& out_file);
+
+/// Launches `opt.shards` subprocesses for `args` (e.g. "sweep --n=1024
+/// --no-timing --quiet"), waits for all, merges their shard files.
+dispatch_result dispatch(const std::string& args, const dispatch_options& opt);
+
+}  // namespace amo::svc

@@ -1,0 +1,43 @@
+#include "svc/job_queue.hpp"
+
+namespace amo::svc {
+
+bool job_queue::push(job j) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return false;
+    jobs_.push_back(std::move(j));
+    ++pushed_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool job_queue::pop(job& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return false;
+  out = std::move(jobs_.front());
+  jobs_.pop_front();
+  return true;
+}
+
+void job_queue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool job_queue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+usize job_queue::pushed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pushed_;
+}
+
+}  // namespace amo::svc

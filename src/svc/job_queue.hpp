@@ -1,0 +1,42 @@
+// svc::job_queue — the bounded-nothing, blocking FIFO between whoever
+// produces jobs (the serve loop's FIFO/stdin reader, a future network
+// front-end) and the executor draining them onto the persistent pool.
+// Close-on-drain semantics: close() lets producers signal end-of-input
+// while consumers finish what is already queued — pop() only returns false
+// once the queue is both closed and empty.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "svc/job.hpp"
+
+namespace amo::svc {
+
+class job_queue {
+ public:
+  /// Enqueues a job. Pushing to a closed queue is a programming error the
+  /// queue tolerates by dropping the job (the reader thread may lose the
+  /// race with a shutdown); returns whether the job was accepted.
+  bool push(job j);
+
+  /// Blocks until a job is available or the queue is closed and drained.
+  /// True with `out` filled, or false when no job will ever come.
+  bool pop(job& out);
+
+  /// No more pushes; wakes every blocked pop().
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] usize pushed() const;  ///< jobs accepted so far
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<job> jobs_;
+  bool closed_ = false;
+  usize pushed_ = 0;
+};
+
+}  // namespace amo::svc

@@ -1,0 +1,187 @@
+#include "svc/server.hpp"
+
+#include <exception>
+#include <istream>
+#include <thread>
+#include <unordered_set>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/shard.hpp"
+#include "exp/sweep.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/worker_pool.hpp"
+#include "util/fileio.hpp"
+
+namespace amo::svc {
+
+namespace {
+
+std::string job_tag(const job& j) {
+  std::string tag = "job";
+  if (j.line != 0) tag += " @" + std::to_string(j.line);
+  for (const std::string& name : j.scenarios) tag += " " + name;
+  if (j.have_shard) tag += " shard=" + exp::to_string(j.shard);
+  return tag;
+}
+
+/// One job through write-out and logging; shared by batch and serve.
+void finish_job(const job_result& r, const server_options& opt,
+                std::FILE* stream, std::FILE* log, serve_summary& sum) {
+  ++sum.jobs;
+  if (!r.ok()) {
+    ++sum.failed;
+    std::fprintf(log, "%s: ERROR %s\n", job_tag(r.j).c_str(), r.error.c_str());
+    return;
+  }
+  if (!r.safe) ++sum.unsafe;
+
+  const std::string json = r.render_json();
+  if (!r.j.out.empty()) {
+    if (!write_file(r.j.out.c_str(), json)) {
+      ++sum.io_errors;
+      std::fprintf(log, "%s: cannot write %s\n", job_tag(r.j).c_str(),
+                   r.j.out.c_str());
+    }
+  } else {
+    std::fputs(json.c_str(), stream);
+    std::fflush(stream);
+  }
+
+  if (!opt.quiet) {
+    std::fprintf(log, "%s: %zu/%zu cells on %zu workers in %.2fs, "
+                      "at-most-once: %s%s%s\n",
+                 job_tag(r.j).c_str(), r.reports.size(), r.cells_total,
+                 r.pool_used, r.wall_seconds, r.safe ? "yes" : "VIOLATED",
+                 r.j.out.empty() ? "" : " -> ",
+                 r.j.out.empty() ? "" : r.j.out.c_str());
+  }
+}
+
+/// Runtime duplicate-out guard (parse_batch refuses these up front; serve
+/// streams, so it can only catch them as jobs arrive).
+bool claim_out_path(const job& j, std::unordered_set<std::string>& used,
+                    job_result& failed_result) {
+  if (j.out.empty() || used.insert(j.out).second) return true;
+  failed_result.j = j;
+  failed_result.error =
+      "duplicate output path '" + j.out + "' within this session";
+  return false;
+}
+
+}  // namespace
+
+std::string job_result::render_json() const {
+  exp::json_writer json;
+  exp::add_sweep_records(json, reports, indices, cells_total, grid,
+                         /*include_timing=*/!j.no_timing);
+  return json.dump();
+}
+
+job_result execute_job(const job& j, worker_pool& pool) {
+  job_result r;
+  r.j = j;
+
+  std::vector<exp::run_spec> all;
+  try {
+    for (const std::string& name : j.scenarios) {
+      const std::vector<exp::run_spec> c = exp::scenario_cells(name, j.params);
+      all.insert(all.end(), c.begin(), c.end());
+    }
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    return r;
+  }
+  if (j.scheduled_only) {
+    std::erase_if(all, [](const exp::run_spec& s) {
+      return s.driver != exp::driver_kind::scheduled;
+    });
+  }
+  if (all.empty()) {
+    r.error = "no cells to run";
+    return r;
+  }
+
+  const exp::shard_ref shard = j.have_shard ? j.shard : exp::shard_ref{0, 1};
+  r.indices = exp::shard_indices(all.size(), shard);
+  r.cells_total = all.size();
+  r.grid = exp::grid_fingerprint(all);
+  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
+
+  try {
+    exp::sweep_result sw = exp::sweep(cells, pool);
+    r.reports = std::move(sw.reports);
+    r.pool_used = sw.pool_size;
+    r.wall_seconds = sw.wall_seconds;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    r.reports.clear();
+    return r;
+  }
+  for (const exp::run_report& rep : r.reports) r.safe = r.safe && rep.at_most_once;
+  return r;
+}
+
+int serve_summary::exit_code() const {
+  if (rejected > 0 || failed > 0) return 2;
+  if (io_errors > 0) return 3;
+  if (unsafe > 0) return 1;
+  return 0;
+}
+
+serve_summary run_jobs(const std::vector<job>& jobs, worker_pool& pool,
+                       const server_options& opt) {
+  serve_summary sum;
+  std::FILE* stream = opt.stream != nullptr ? opt.stream : stdout;
+  std::FILE* log = opt.log != nullptr ? opt.log : stderr;
+  std::unordered_set<std::string> used_out;
+  for (const job& j : jobs) {
+    job_result r;
+    if (claim_out_path(j, used_out, r)) r = execute_job(j, pool);
+    finish_job(r, opt, stream, log, sum);
+  }
+  return sum;
+}
+
+serve_summary serve(std::istream& in, worker_pool& pool,
+                    const server_options& opt) {
+  serve_summary sum;
+  std::FILE* stream = opt.stream != nullptr ? opt.stream : stdout;
+  std::FILE* log = opt.log != nullptr ? opt.log : stderr;
+
+  job_queue queue;
+  std::mutex reject_mu;  // guards sum.rejected + log writes from the reader
+  std::jthread reader([&] {
+    std::string line;
+    usize line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      job j;
+      bool has_job = false;
+      std::string error;
+      if (!parse_job_line(line, line_no, j, has_job, error)) {
+        std::lock_guard<std::mutex> lk(reject_mu);
+        ++sum.rejected;
+        std::fprintf(log, "serve: %s\n", error.c_str());
+        continue;
+      }
+      if (has_job) queue.push(j);
+    }
+    queue.close();
+  });
+
+  std::unordered_set<std::string> used_out;
+  job j;
+  while (queue.pop(j)) {
+    job_result r;
+    if (claim_out_path(j, used_out, r)) r = execute_job(j, pool);
+    // finish_job touches sum.jobs/failed/... — reader only touches
+    // sum.rejected, and only under reject_mu; take it here too so the
+    // final summary read (after join) sees a consistent struct.
+    std::lock_guard<std::mutex> lk(reject_mu);
+    finish_job(r, opt, stream, log, sum);
+  }
+  return sum;
+}
+
+}  // namespace amo::svc

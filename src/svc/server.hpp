@@ -1,0 +1,84 @@
+// svc::server — the job-execution loop that turns the experiment engine
+// into a resident service.
+//
+// execute_job() is the one code path from a job to its JSON: expand the
+// named scenarios into cells, apply the scheduled-only filter and the
+// job's shard slice, run the cells on the caller's persistent pool, and
+// render the sweep records. The amo_lab CLI routes `run`/`sweep` through
+// this same function, so a batch/serve job's output is byte-identical to
+// the equivalent standalone invocation by construction, not by parallel
+// maintenance of two code paths (asserted in tests/test_svc_batch.cpp and
+// the CI batch step).
+//
+// run_jobs() drains a parsed batch; serve() streams jobs from any istream
+// (stdin, a FIFO) through a job_queue — a reader thread parses while the
+// caller's thread executes, so a slow job never blocks line intake.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "svc/job.hpp"
+
+namespace amo::svc {
+
+class worker_pool;
+
+/// Everything one finished job produced.
+struct job_result {
+  job j;                                ///< the job as executed
+  std::vector<exp::run_report> reports; ///< slice results, cell order
+  std::vector<usize> indices;           ///< global cell index per report
+  usize cells_total = 0;                ///< full grid size (before shard)
+  std::uint64_t grid = 0;               ///< exp::grid_fingerprint of the grid
+  usize pool_used = 0;                  ///< workers the sweep was dealt across
+  double wall_seconds = 0.0;
+  bool safe = true;                     ///< every cell at_most_once
+  std::string error;                    ///< non-empty: the job did not run
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  /// The sweep-record JSON document for this job — the same bytes
+  /// `amo_lab run <scenarios> ... --out=F` would have written.
+  [[nodiscard]] std::string render_json() const;
+};
+
+/// Expands + runs one job on the pool. Never throws: scenario expansion
+/// and engine errors come back through job_result::error.
+job_result execute_job(const job& j, worker_pool& pool);
+
+struct server_options {
+  bool quiet = false;          ///< suppress per-job outcome lines
+  std::FILE* stream = nullptr; ///< sink for jobs without out= (default stdout)
+  std::FILE* log = nullptr;    ///< outcome/error lines (default stderr)
+};
+
+/// Severity-keyed tally across one batch / serve session.
+struct serve_summary {
+  usize jobs = 0;       ///< jobs that parsed and were attempted
+  usize rejected = 0;   ///< malformed job lines (serve mode only)
+  usize failed = 0;     ///< jobs that errored (unknown adversary, dup out=)
+  usize unsafe = 0;     ///< jobs with an at-most-once violation
+  usize io_errors = 0;  ///< out= files that could not be written
+
+  /// 2 = any malformed/failed job, else 3 = any unwritable output, else
+  /// 1 = any safety violation, else 0 — the amo_lab exit-code convention.
+  [[nodiscard]] int exit_code() const;
+};
+
+/// Runs a parsed batch in order on the persistent pool. Duplicate out=
+/// paths are rejected per job at execution time too (parse_batch already
+/// refuses them; this guards programmatic callers).
+serve_summary run_jobs(const std::vector<job>& jobs, worker_pool& pool,
+                       const server_options& opt = {});
+
+/// Reads job lines from `in` until EOF, executing each as it arrives.
+/// Malformed lines are reported and counted, not fatal: a long-running
+/// server must outlive one bad submission.
+serve_summary serve(std::istream& in, worker_pool& pool,
+                    const server_options& opt = {});
+
+}  // namespace amo::svc

@@ -1,0 +1,153 @@
+#include "svc/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amo::svc {
+
+worker_pool::worker_pool(usize workers) : workers_(workers) {
+  if (workers_ == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers_ = hc == 0 ? 4 : hc;
+  }
+  if (workers_ <= 1) return;  // inline mode: no resident threads
+  queues_.reserve(workers_);
+  for (usize w = 0; w < workers_; ++w) {
+    queues_.push_back(std::make_unique<worker_queue>());
+  }
+  threads_.reserve(workers_);
+  for (usize w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+worker_pool::~worker_pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // jthread members join on destruction.
+}
+
+usize worker_pool::batches_run() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batches_;
+}
+
+void worker_pool::run_serial(usize count, const std::function<void(usize)>& fn) {
+  for (usize i = 0; i < count; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+usize worker_pool::run_indexed(usize count,
+                               const std::function<void(usize)>& fn) {
+  if (count == 0) return 0;
+  std::lock_guard<std::mutex> client(client_mu_);
+  first_error_ = nullptr;
+
+  if (workers_ <= 1 || count == 1) {
+    run_serial(count, fn);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++batches_;
+    }
+    if (first_error_) {
+      std::exception_ptr e = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    return 1;
+  }
+
+  const usize nw = std::min(workers_, count);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (usize i = 0; i < count; ++i) {
+      queues_[i % nw]->tasks.push_back(i);
+    }
+    fn_ = &fn;
+    active_queues_ = nw;
+    remaining_ = count;
+    ++generation_;
+    ++batches_;
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return remaining_ == 0 && in_batch_ == 0; });
+    fn_ = nullptr;
+    active_queues_ = 0;
+  }
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+  return nw;
+}
+
+void worker_pool::worker_main(usize self) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Workers beyond the dealt queues have nothing of their own this
+    // batch; they still join to steal, which matters when one queue lands
+    // all the expensive cells.
+    const usize nw = active_queues_;
+    const std::function<void(usize)>* fn = fn_;
+    ++in_batch_;
+    lk.unlock();
+
+    for (;;) {
+      usize task = 0;
+      bool found = false;
+      if (self < nw) {
+        // Own queue first, front end.
+        std::lock_guard<std::mutex> q(queues_[self]->mu);
+        if (!queues_[self]->tasks.empty()) {
+          task = queues_[self]->tasks.front();
+          queues_[self]->tasks.pop_front();
+          found = true;
+        }
+      }
+      if (!found) {
+        // Steal from the back of the first non-empty victim.
+        for (usize off = 1; off <= nw && !found; ++off) {
+          worker_queue& victim = *queues_[(self + off) % nw];
+          std::lock_guard<std::mutex> q(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+            found = true;
+          }
+        }
+      }
+      if (!found) break;  // dealt up-front, never re-enqueued: batch is dry
+
+      try {
+        (*fn)(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        --remaining_;
+      }
+    }
+
+    lk.lock();
+    --in_batch_;
+    if (remaining_ == 0 && in_batch_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace amo::svc

@@ -1,0 +1,98 @@
+// svc::worker_pool — the long-lived work-stealing pool behind every sweep.
+//
+// The PR 2 engine spawned a fresh set of worker threads inside each
+// exp::sweep call; fine for one 3,744-cell grid, wasteful for a service
+// that drains thousands of small jobs (thread startup dominates a job of a
+// few dozen millisecond-sized cells — measured in bench_pool). This class
+// is that pool extracted and made resident: the constructor starts the
+// workers once, run_indexed() dispatches one batch onto them, and the
+// threads park on a condition variable between batches instead of dying.
+//
+// Scheduling is unchanged from the transient pool: tasks 0..count-1 are
+// dealt round-robin into per-worker deques up front (deterministic initial
+// placement); each worker drains its own deque from the front and, when
+// empty, steals from the back of a victim's. Cells are pure functions of
+// their spec, so results are identical for any pool size, steal order, or
+// pool lifetime — reusing one pool across a thousand sweeps produces the
+// same bytes as a thousand fresh pools (tested in tests/test_svc_pool.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amo::svc {
+
+class worker_pool {
+ public:
+  /// Starts the workers immediately; they idle on a condition variable
+  /// until the first batch. `workers == 0` selects
+  /// std::thread::hardware_concurrency(); `workers == 1` starts no threads
+  /// at all (every batch runs inline on the caller, the serial reference
+  /// mode of the determinism tests).
+  explicit worker_pool(usize workers = 0);
+
+  /// Wakes everyone with a stop flag and joins.
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  [[nodiscard]] usize size() const { return workers_; }
+
+  /// Batches dispatched so far (inline ones included) — the number the
+  /// pool has amortized its thread startup over.
+  [[nodiscard]] usize batches_run() const;
+
+  /// Invokes fn(i) for every i in [0, count), distributed over the pool;
+  /// returns when all invocations completed. With a single worker (or
+  /// count <= 1) runs inline, so pool-size-1 batches are genuinely serial.
+  /// In both modes every task runs even when some throw; the first
+  /// exception is rethrown after the batch drains. Returns the number of
+  /// workers the batch was dealt across (<= size(); 1 for the inline path,
+  /// 0 when count == 0).
+  ///
+  /// Callers may overlap: concurrent run_indexed() calls serialize on an
+  /// internal mutex. Calling it from inside a pool task deadlocks — jobs
+  /// that need nested parallelism must flatten their cells instead.
+  usize run_indexed(usize count, const std::function<void(usize)>& fn);
+
+ private:
+  struct worker_queue {
+    std::mutex mu;
+    std::deque<usize> tasks;
+  };
+
+  void worker_main(usize self);
+  void run_serial(usize count, const std::function<void(usize)>& fn);
+
+  usize workers_;
+
+  std::mutex client_mu_;  ///< one batch in flight at a time
+
+  // Batch state, guarded by mu_ (remaining_ also decremented under mu_ so
+  // the done_cv_ wakeup cannot be missed).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< the client waits for the drain
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(usize)>* fn_ = nullptr;
+  usize active_queues_ = 0;   ///< queues dealt for this batch
+  usize remaining_ = 0;       ///< tasks not yet completed
+  usize in_batch_ = 0;        ///< workers currently inside the batch
+  usize batches_ = 0;
+  std::vector<std::unique_ptr<worker_queue>> queues_;
+  std::exception_ptr first_error_;
+
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace amo::svc

@@ -1,0 +1,47 @@
+// Whole-file read/write, shared by every text surface (record parser,
+// batch parser, corpus loader, report writers) — one definition of "slurp
+// a file" and its error spelling instead of a copy per parser.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace amo {
+
+/// Reads all of `path` into `out`. On failure returns false with `error`
+/// set to "cannot open <path>" / "cannot read <path>" (the spelling the
+/// CLI's exit-code mapping keys on).
+[[nodiscard]] inline bool read_file(const char* path, std::string& out,
+                                    std::string& error) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    error = std::string("cannot open ") + path;
+    return false;
+  }
+  out.clear();
+  char buf[1 << 14];
+  usize got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    error = std::string("cannot read ") + path;
+    return false;
+  }
+  return true;
+}
+
+/// Writes `content` to `path` (truncating); false on any I/O failure.
+[[nodiscard]] inline bool write_file(const char* path,
+                                     std::string_view content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return (std::fclose(f) == 0) && wrote;
+}
+
+}  // namespace amo

@@ -1,8 +1,10 @@
-// Overflow-checked decimal parsing, shared by the adversary-name parser
-// (engine.cpp) and the shard-reference parser (shard.cpp) — one definition
-// of "what counts as a number on a command line".
+// Overflow-checked decimal parsing and line tokenization, shared by the
+// adversary-name parser (engine.cpp), the shard-reference parser
+// (shard.cpp) and the svc job/corpus line parsers — one definition of
+// "what counts as a number (or a token) on a command line".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -20,6 +22,32 @@ namespace amo {
     v = v * 10 + digit;
   }
   out = v;
+  return true;
+}
+
+/// Invokes fn(token) for each whitespace-separated token of `line` (the
+/// line-oriented grammars: batch jobs, corpus files), stopping silently at
+/// a token that starts with '#' (comment to end of line). `fn` returns
+/// false to abort the scan; for_each_token returns false iff it aborted.
+template <class Fn>
+inline bool for_each_token(std::string_view line, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r') {
+      ++end;
+    }
+    const std::string_view tok = line.substr(pos, end - pos);
+    pos = end;
+    if (tok.front() == '#') break;
+    if (!fn(tok)) return false;
+  }
   return true;
 }
 

@@ -11,8 +11,8 @@
 #include "exp/engine.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
-#include "exp/thread_pool.hpp"
 #include "sim/adversary.hpp"
+#include "svc/worker_pool.hpp"
 
 namespace amo {
 namespace {
@@ -91,7 +91,7 @@ TEST(ExpSweep, CellErrorsPropagateAfterDraining) {
   std::vector<exp::run_spec> cells = mixed_grid();
   cells[3].adversary.name = "no_such_adversary";
   for (const usize pool : {usize{1}, usize{4}}) {
-    exp::thread_pool tp(pool);
+    svc::worker_pool tp(pool);
     std::atomic<usize> ran{0};
     EXPECT_THROW(tp.run_indexed(cells.size(),
                                 [&](usize i) {
@@ -118,11 +118,11 @@ TEST(ExpSweep, PoolSizeReportsWorkersActuallyUsed) {
   EXPECT_EQ(exp::sweep(all, serial).pool_size, 1u);
 }
 
-TEST(ExpThreadPool, RunsEveryTaskExactlyOnce) {
+TEST(SvcWorkerPool, RunsEveryTaskExactlyOnce) {
   for (const usize workers : {usize{1}, usize{2}, usize{3}, usize{8}}) {
     constexpr usize kTasks = 250;
     std::vector<std::atomic<int>> hits(kTasks);
-    exp::thread_pool pool(workers);
+    svc::worker_pool pool(workers);
     pool.run_indexed(kTasks, [&hits](usize i) {
       hits[i].fetch_add(1, std::memory_order_relaxed);
     });
@@ -132,11 +132,11 @@ TEST(ExpThreadPool, RunsEveryTaskExactlyOnce) {
   }
 }
 
-TEST(ExpThreadPool, StealingDrainsUnbalancedLoads) {
+TEST(SvcWorkerPool, StealingDrainsUnbalancedLoads) {
   // One expensive task dealt to worker 0 must not serialize the other 63
   // cheap ones; every task still runs exactly once.
   std::atomic<usize> done{0};
-  exp::thread_pool pool(4);
+  svc::worker_pool pool(4);
   pool.run_indexed(64, [&done](usize i) {
     if (i == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -146,8 +146,8 @@ TEST(ExpThreadPool, StealingDrainsUnbalancedLoads) {
   EXPECT_EQ(done.load(), 64u);
 }
 
-TEST(ExpThreadPool, FirstExceptionRethrown) {
-  exp::thread_pool pool(3);
+TEST(SvcWorkerPool, FirstExceptionRethrown) {
+  svc::worker_pool pool(3);
   EXPECT_THROW(pool.run_indexed(40,
                                 [](usize i) {
                                   if (i % 7 == 0) {

@@ -1,0 +1,235 @@
+// Batch/serve determinism — the service acceptance criterion: a batch
+// file of mixed scenarios produces per-job JSON byte-identical to running
+// each job standalone, at pool sizes 1, 2 and hardware_concurrency; the
+// serve loop produces the same bytes as the batch runner; and the
+// severity-keyed exit codes hold.
+//
+// The standalone oracle below is built from exp:: primitives only
+// (scenario expansion -> shard -> serial sweep -> add_sweep_records), NOT
+// from svc::execute_job — so it pins what `amo_lab run` emits rather than
+// whatever the service happens to do.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/shard.hpp"
+#include "exp/sweep.hpp"
+#include "svc/job.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/server.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace amo {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "svc_batch_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The mixed-scenario batch the acceptance criterion names. Jobs carry
+/// no-timing so identical executions dump identical bytes.
+std::vector<svc::job> mixed_jobs(const std::string& tag) {
+  svc::job a;
+  a.scenarios = {"kk/round_robin", "kk/random"};
+  a.params.n = 128;
+  a.params.m = 3;
+  a.params.seeds = 2;
+  a.no_timing = true;
+  a.out = temp_path(tag + "_a.json");
+
+  svc::job b;  // sharded job: slice 1 of 2 of its own grid
+  b.scenarios = {"iterative/round_robin", "baseline/tas"};
+  b.params.n = 96;
+  b.params.m = 2;
+  b.params.seeds = 1;
+  b.no_timing = true;
+  b.have_shard = true;
+  b.shard = {1, 2};
+  b.out = temp_path(tag + "_b.json");
+
+  svc::job c;  // write-all family + scheduled-only filter
+  c.scenarios = {"baseline/wa_trivial", "threads/kk"};
+  c.params.n = 64;
+  c.params.m = 2;
+  c.params.seeds = 1;
+  c.no_timing = true;
+  c.scheduled_only = true;
+  c.out = temp_path(tag + "_c.json");
+
+  return {a, b, c};
+}
+
+/// What `amo_lab run <scenarios> [--shard] --no-timing --out=F` writes,
+/// rebuilt from first principles.
+std::string standalone_json(const svc::job& j) {
+  std::vector<exp::run_spec> all;
+  for (const std::string& name : j.scenarios) {
+    const std::vector<exp::run_spec> c = exp::scenario_cells(name, j.params);
+    all.insert(all.end(), c.begin(), c.end());
+  }
+  if (j.scheduled_only) {
+    std::erase_if(all, [](const exp::run_spec& s) {
+      return s.driver != exp::driver_kind::scheduled;
+    });
+  }
+  const exp::shard_ref shard = j.have_shard ? j.shard : exp::shard_ref{0, 1};
+  const std::vector<usize> indices = exp::shard_indices(all.size(), shard);
+  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
+  exp::sweep_options serial;
+  serial.pool_size = 1;
+  const exp::sweep_result swept = exp::sweep(cells, serial);
+  exp::json_writer json;
+  exp::add_sweep_records(json, swept.reports, indices, all.size(),
+                         exp::grid_fingerprint(all), !j.no_timing);
+  return json.dump();
+}
+
+TEST(SvcBatch, ByteIdenticalToStandaloneAtPoolSizes1_2_Hw) {
+  for (const usize pool_size : {usize{1}, usize{2}, usize{0}}) {
+    const std::string tag = "pool" + std::to_string(pool_size);
+    const std::vector<svc::job> jobs = mixed_jobs(tag);
+
+    svc::worker_pool pool(pool_size);
+    svc::server_options opt;
+    opt.quiet = true;
+    const svc::serve_summary sum = svc::run_jobs(jobs, pool, opt);
+    EXPECT_EQ(sum.exit_code(), 0) << tag;
+    EXPECT_EQ(sum.jobs, jobs.size());
+
+    for (const svc::job& j : jobs) {
+      const std::string got = slurp(j.out);
+      ASSERT_FALSE(got.empty()) << j.out;
+      EXPECT_EQ(got, standalone_json(j)) << j.out;
+      std::remove(j.out.c_str());
+    }
+  }
+}
+
+TEST(SvcBatch, ServeProducesTheSameBytesAsBatch) {
+  const std::vector<svc::job> jobs = mixed_jobs("serve");
+  std::string lines;
+  for (const svc::job& j : jobs) lines += svc::to_line(j) + "\n";
+  lines += "# trailing comment\n";
+  lines += "this-is-not-a-scenario n=4\n";  // rejected, not fatal
+
+  std::istringstream in(lines);
+  svc::worker_pool pool(2);
+  svc::server_options opt;
+  opt.quiet = true;
+  const svc::serve_summary sum = svc::serve(in, pool, opt);
+  EXPECT_EQ(sum.jobs, jobs.size());
+  EXPECT_EQ(sum.rejected, 1u);
+  EXPECT_EQ(sum.failed, 0u);
+  EXPECT_EQ(sum.exit_code(), 2);  // a malformed submission is reported
+
+  for (const svc::job& j : jobs) {
+    const std::string got = slurp(j.out);
+    ASSERT_FALSE(got.empty()) << j.out;
+    EXPECT_EQ(got, standalone_json(j)) << j.out;
+    std::remove(j.out.c_str());
+  }
+}
+
+TEST(SvcBatch, StreamedJobsConcatenateOnTheSink) {
+  // A job without out= streams its document to the server's sink.
+  svc::job j;
+  j.scenarios = {"kk/round_robin"};
+  j.params.n = 64;
+  j.params.m = 2;
+  j.params.seeds = 1;
+  j.no_timing = true;
+
+  const std::string sink_path = temp_path("sink.json");
+  std::FILE* sink = std::fopen(sink_path.c_str(), "w+");
+  ASSERT_NE(sink, nullptr);
+  svc::worker_pool pool(1);
+  svc::server_options opt;
+  opt.quiet = true;
+  opt.stream = sink;
+  const svc::serve_summary sum = svc::run_jobs({j, j}, pool, opt);
+  std::fclose(sink);
+  EXPECT_EQ(sum.exit_code(), 0);
+  const std::string doc = standalone_json(j);
+  EXPECT_EQ(slurp(sink_path), doc + doc);
+  std::remove(sink_path.c_str());
+}
+
+TEST(SvcBatch, DuplicateOutPathsAreRejectedAtRuntime) {
+  svc::job j;
+  j.scenarios = {"kk/round_robin"};
+  j.params.n = 64;
+  j.params.m = 2;
+  j.params.seeds = 1;
+  j.no_timing = true;
+  j.out = temp_path("dup.json");
+
+  svc::worker_pool pool(1);
+  svc::server_options opt;
+  opt.quiet = true;
+  const svc::serve_summary sum = svc::run_jobs({j, j}, pool, opt);
+  EXPECT_EQ(sum.jobs, 2u);
+  EXPECT_EQ(sum.failed, 1u);
+  EXPECT_EQ(sum.exit_code(), 2);
+  std::remove(j.out.c_str());
+}
+
+TEST(SvcBatch, UnwritableOutIsAnIoError) {
+  svc::job j;
+  j.scenarios = {"kk/round_robin"};
+  j.params.n = 64;
+  j.params.m = 2;
+  j.params.seeds = 1;
+  j.out = temp_path("no_such_dir/x.json");
+
+  svc::worker_pool pool(1);
+  svc::server_options opt;
+  opt.quiet = true;
+  const svc::serve_summary sum = svc::run_jobs({j}, pool, opt);
+  EXPECT_EQ(sum.io_errors, 1u);
+  EXPECT_EQ(sum.exit_code(), 3);
+}
+
+TEST(SvcBatch, ExecuteJobReportsExpansionErrors) {
+  svc::worker_pool pool(1);
+  svc::job j;
+  j.scenarios = {"kk/round_robin"};
+  j.params.n = 64;
+  j.params.m = 2;
+  j.scheduled_only = true;
+  // threads/kk alone + scheduled-only leaves nothing.
+  svc::job empty = j;
+  empty.scenarios = {"threads/kk"};
+  const svc::job_result r = svc::execute_job(empty, pool);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, "no cells to run");
+}
+
+TEST(SvcJobQueue, CloseDrainsBeforeReportingEmpty) {
+  svc::job_queue q;
+  svc::job j;
+  j.scenarios = {"kk/round_robin"};
+  EXPECT_TRUE(q.push(j));
+  EXPECT_TRUE(q.push(j));
+  q.close();
+  EXPECT_FALSE(q.push(j));  // closed: dropped
+  svc::job out;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_EQ(q.pushed(), 2u);
+}
+
+}  // namespace
+}  // namespace amo

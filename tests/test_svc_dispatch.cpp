@@ -1,0 +1,133 @@
+// The shard dispatcher: template expansion, failure classification, and —
+// when the amo_lab binary is next to the test (ctest runs in the build
+// directory) — a real end-to-end dispatch whose merged output must be
+// byte-identical to the one-shot sweep.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "svc/dispatcher.hpp"
+#include "svc/job.hpp"
+#include "svc/server.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace amo {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool have_amo_lab() {
+  std::FILE* f = std::fopen("./amo_lab", "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(SvcDispatch, ExpandCommandSubstitutesEveryPlaceholder) {
+  const std::string cmd = svc::expand_command(
+      "ssh host '{self} {args} --shard={shard} --out={out}' # {shard}",
+      "/opt/amo_lab", "sweep --n=64", {1, 3}, "/tmp/s1.json");
+  EXPECT_EQ(cmd, "ssh host '/opt/amo_lab sweep --n=64 --shard=1/3 "
+                 "--out=/tmp/s1.json' # 1/3");
+}
+
+TEST(SvcDispatch, ZeroShardsIsAUsageError) {
+  svc::dispatch_options opt;
+  opt.shards = 0;
+  const svc::dispatch_result r = svc::dispatch("sweep", opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(SvcDispatch, HardShardFailureIsClassified) {
+  svc::dispatch_options opt;
+  opt.shards = 2;
+  opt.command = "exit 7";  // the template is the whole shell command
+  opt.quiet = true;
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 2);
+  ASSERT_EQ(r.shards.size(), 2u);
+  EXPECT_EQ(r.shards[0].exit_code, 7);
+  EXPECT_NE(r.error.find("exit 7"), std::string::npos) << r.error;
+}
+
+TEST(SvcDispatch, MissingShardOutputIsAnIoError) {
+  svc::dispatch_options opt;
+  opt.shards = 2;
+  opt.command = "true";  // exits 0 but writes no {out} file
+  opt.dir = ::testing::TempDir();
+  opt.quiet = true;
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 3);
+}
+
+TEST(SvcDispatch, CapturesSubprocessOutput) {
+  svc::dispatch_options opt;
+  opt.shards = 1;
+  opt.command = "echo shard {shard} speaking; exit 9";
+  opt.quiet = true;
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.shards.size(), 1u);
+  EXPECT_NE(r.shards[0].output.find("shard 0/1 speaking"), std::string::npos);
+}
+
+TEST(SvcDispatch, EndToEndMatchesTheOneShotSweepByteForByte) {
+  if (!have_amo_lab()) {
+    GTEST_SKIP() << "no ./amo_lab in the working directory";
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string merged_path = dir + "/dispatch_merged.json";
+
+  svc::dispatch_options opt;
+  opt.shards = 3;
+  opt.self = "./amo_lab";
+  opt.dir = dir;
+  opt.out = merged_path;
+  opt.quiet = true;
+  const std::string args =
+      "sweep kk/round_robin kk/random baseline/tas iterative/round_robin"
+      " --n=96 --m=3 --beta=0 --eps=2 --seed=1 --seeds=2 --pool=2"
+      " --scheduled-only --no-timing --quiet";
+  const svc::dispatch_result r = svc::dispatch(args, opt);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.exit_code, 0);
+
+  // The one-shot reference, through the same job structure the CLI uses.
+  svc::job j;
+  j.scenarios = {"kk/round_robin", "kk/random", "baseline/tas",
+                 "iterative/round_robin"};
+  j.params.n = 96;
+  j.params.m = 3;
+  j.params.seeds = 2;
+  j.scheduled_only = true;
+  j.no_timing = true;
+  svc::worker_pool pool(2);
+  const svc::job_result one_shot = svc::execute_job(j, pool);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.error;
+
+  const std::string merged = slurp(merged_path);
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged, one_shot.render_json());
+  std::remove(merged_path.c_str());
+
+  // The per-shard files were cleaned up (keep_shards defaults off).
+  for (const svc::shard_run& run : r.shards) {
+    std::FILE* f = std::fopen(run.file.c_str(), "rb");
+    EXPECT_EQ(f, nullptr) << run.file << " should have been removed";
+    if (f != nullptr) std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace amo

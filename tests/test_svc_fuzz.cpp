@@ -1,0 +1,205 @@
+// Robustness pass over the text surfaces the service trusts least: the
+// flat-JSON record parser (exp::record) fed truncated and bit-flipped
+// documents, and the batch job parser fed malformed lines. Every input
+// must come back as a clean error (or a clean parse) — no crashes, no
+// ASan/UBSan findings (the CI sanitize job runs this binary), and the
+// severity-keyed exit codes must stay stable.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/record.hpp"
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "svc/job.hpp"
+#include "svc/server.hpp"
+#include "util/prng.hpp"
+
+namespace amo {
+namespace {
+
+/// A real record document, including a label that exercises every escape
+/// class the writer knows (quote, backslash, control characters).
+std::string sample_doc() {
+  exp::json_writer json;
+  json.add({{"scenario", exp::json_writer::str("fuzz \"quoted\" \\ \n \t \x01")},
+            {"cell", exp::json_writer::num(std::uint64_t{0})},
+            {"work", exp::json_writer::num(12.5)},
+            {"at_most_once", exp::json_writer::boolean(true)},
+            {"duplicate", "null"}});
+  json.add({{"scenario", exp::json_writer::str("plain")},
+            {"cell", exp::json_writer::num(std::uint64_t{1})},
+            {"work", exp::json_writer::num(std::uint64_t{42})},
+            {"at_most_once", exp::json_writer::boolean(false)}});
+  return json.dump();
+}
+
+TEST(RecordFuzz, EveryTruncationFailsCleanly) {
+  const std::string doc = sample_doc();
+  for (usize len = 0; len < doc.size(); ++len) {
+    const exp::parse_result r = exp::parse_records(doc.substr(0, len));
+    // A strict prefix of a record array is never a complete document —
+    // unless all that was cut is trailing whitespace.
+    const bool cut_only_ws =
+        doc.find_first_not_of(" \t\r\n", len) == std::string::npos;
+    EXPECT_EQ(r.ok(), cut_only_ws) << "prefix length " << len;
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_TRUE(r.records.empty());
+    }
+  }
+  EXPECT_TRUE(exp::parse_records(doc).ok());
+}
+
+TEST(RecordFuzz, RandomMutationsNeverCrashAndStayIdempotent) {
+  const std::string doc = sample_doc();
+  xoshiro256 rng(0xF422u);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string mutated = doc;
+    const usize flips = 1 + rng.below(4);
+    for (usize f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<char>(rng.below(256));
+    }
+    const exp::parse_result r = exp::parse_records(mutated);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_TRUE(r.records.empty());
+      continue;
+    }
+    // A mutation that still parses must round-trip: parse ∘ render is the
+    // identity on anything the parser accepts.
+    const std::string rendered = exp::render_records(r.records);
+    const exp::parse_result again = exp::parse_records(rendered);
+    ASSERT_TRUE(again.ok()) << rendered;
+    EXPECT_EQ(exp::render_records(again.records), rendered);
+  }
+}
+
+TEST(RecordFuzz, RandomGarbageNeverCrashes) {
+  xoshiro256 rng(0xBADFu);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string garbage;
+    const usize len = rng.below(120);
+    garbage.reserve(len);
+    for (usize i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.below(256));
+    }
+    const exp::parse_result r = exp::parse_records(garbage);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.records.empty());
+    }
+  }
+}
+
+TEST(BatchFuzz, MalformedLinesReportTheirLineNumber) {
+  const char* bad[] = {
+      "not_a_scenario",                        // unknown name
+      "kk/round_robin n=abc",                  // bad number
+      "kk/round_robin n=99999999999999999999", // u64 overflow
+      "kk/round_robin shard=3/2",              // i >= k
+      "kk/round_robin shard=x",                // malformed shard
+      "kk/round_robin out=",                   // empty path
+      "kk/round_robin frobnicate=1",           // unknown key
+      "n=128 m=4",                             // options, no scenario
+      "kk/round_robin eps=5000000000",         // eps out of range
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    const std::string doc = std::string("# header\n\n") + line + "\n";
+    const svc::job_parse_result r = svc::parse_batch(doc);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+    EXPECT_TRUE(r.jobs.empty());
+  }
+}
+
+TEST(BatchFuzz, RandomLinesNeverCrashTheParser) {
+  xoshiro256 rng(0x5EEDu);
+  const char alphabet[] =
+      " \t=/#abckkmnstz0123456789_-.\r";
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string line;
+    const usize len = rng.below(60);
+    for (usize i = 0; i < len; ++i) {
+      line += alphabet[rng.below(sizeof alphabet - 1)];
+    }
+    svc::job j;
+    bool has_job = false;
+    std::string error;
+    const bool ok = svc::parse_job_line(line, 1, j, has_job, error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty()) << line;
+    }
+    if (ok && has_job) {
+      EXPECT_FALSE(j.scenarios.empty()) << line;
+    }
+  }
+}
+
+TEST(BatchFuzz, DuplicateOutPathsNameBothLines) {
+  const svc::job_parse_result r = svc::parse_batch(
+      "kk/round_robin out=x.json\n"
+      "# interlude\n"
+      "kk/random out=x.json\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("line 1"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("duplicate output path"), std::string::npos);
+}
+
+TEST(BatchFuzz, JobLineRoundTripsThroughItsCanonicalForm) {
+  svc::job j;
+  j.scenarios = {"kk/round_robin", "baseline/tas"};
+  j.params.n = 777;
+  j.params.m = 5;
+  j.params.beta = 11;
+  j.params.eps_inv = 3;
+  j.params.seed = 42;
+  j.params.seeds = 4;
+  j.scheduled_only = true;
+  j.no_timing = true;
+  j.have_shard = true;
+  j.shard = {2, 5};
+  j.out = "some/dir/file.json";
+
+  svc::job parsed;
+  bool has_job = false;
+  std::string error;
+  ASSERT_TRUE(svc::parse_job_line(svc::to_line(j), 1, parsed, has_job, error))
+      << error;
+  ASSERT_TRUE(has_job);
+  parsed.line = 0;
+  EXPECT_EQ(parsed, j);
+}
+
+TEST(BatchFuzz, BlankAndCommentLinesAreSkipped) {
+  const svc::job_parse_result r = svc::parse_batch(
+      "\n"
+      "   \t \n"
+      "# a comment\n"
+      "kk/round_robin n=64 # inline comment out=ignored.json\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].line, 4u);
+  EXPECT_EQ(r.jobs[0].params.n, 64u);
+  EXPECT_TRUE(r.jobs[0].out.empty());  // commented out
+}
+
+TEST(SvcExitCodes, SeverityOrderIsStable) {
+  svc::serve_summary s;
+  EXPECT_EQ(s.exit_code(), 0);
+  s.unsafe = 1;
+  EXPECT_EQ(s.exit_code(), 1);
+  s.io_errors = 1;
+  EXPECT_EQ(s.exit_code(), 3);  // unwritable output outranks a violation
+  s.failed = 1;
+  EXPECT_EQ(s.exit_code(), 2);  // a failing job outranks both
+  s = {};
+  s.rejected = 1;
+  EXPECT_EQ(s.exit_code(), 2);
+}
+
+}  // namespace
+}  // namespace amo

@@ -22,10 +22,34 @@
 //       Compare two record files cell by cell (amo_lab sweeps or any
 //       BENCH_*.json) and classify every change; see exit status below.
 //
+//   amo_lab serve [--jobs=FIFO] [options]
+//       Run as a resident service: one persistent worker pool, job lines
+//       read from --jobs (a FIFO or file) or stdin as they arrive, per-job
+//       sweep JSON written to each job's out= path (stdout otherwise).
+//       On a FIFO the server reopens after each writer session instead of
+//       exiting at EOF (--once restores drain-one-session). See
+//       docs/batch_format.md for the job-line grammar.
+//
+//   amo_lab submit <scenario ...> [options] [--to=FIFO]
+//       Validate a job and append its canonical job line to --to (stdout
+//       when absent) — the producer half of `amo_lab serve`.
+//
+//   amo_lab batch <file> [options]
+//       Parse a whole batch file up front (rejecting malformed lines and
+//       duplicate out= paths), then drain every job onto one persistent
+//       pool. Per-job output is byte-identical to running the equivalent
+//       `amo_lab run`/`sweep` standalone.
+//
+//   amo_lab dispatch --shards=k [scenario ...] [options]
+//       Partition the sweep into k shards, launch each as a subprocess of
+//       this binary (or anything else via --command), wait, merge the
+//       shard files, and write the merged JSON to --out. With --no-timing
+//       the result is byte-identical to the one-shot sweep.
+//
 //   amo_lab help
 //       This text, on stdout, exit 0 (also --help / -h).
 //
-// Options (run/sweep):
+// Options (run/sweep/serve/submit/batch/dispatch):
 //   --n=N --m=M --beta=B --eps=K     scenario parameters (sizes, 1/eps)
 //   --seed=S --seeds=R               first adversary seed / replicas
 //   --pool=P                         sweep workers (0 = hardware, 1 = serial)
@@ -39,6 +63,18 @@
 //                                    verify pooled results are bit-identical;
 //                                    prints the speedup
 //   --quiet                          suppress the per-cell table
+// Options (serve/submit):
+//   --jobs=FILE                      serve: read job lines from FILE/FIFO
+//   --once                           serve: exit at the first EOF even on
+//                                    a FIFO (default: stay resident)
+//   --to=FILE                        submit: append the job line to FILE
+// Options (dispatch):
+//   --shards=K                       number of shard subprocesses
+//   --command=TEMPLATE               launch template; placeholders {self}
+//                                    {args} {shard} {out} (default
+//                                    "{self} {args} --shard={shard} --out={out}")
+//   --dir=D                          directory for the shard files
+//   --keep-shards                    do not delete the per-shard files
 // Options (diff):
 //   --tol=T                          relative tolerance for work /
 //                                    effectiveness drift (default 0.05)
@@ -54,10 +90,19 @@
 //               beyond tolerance; 2 = hard failure (new duplicates or
 //               livelocks, safety flag flipped, baseline cell missing);
 //               3 = I/O, parse
+//   serve/batch 0 = every job ran safe; 1 = a safety violation; 2 = a
+//               malformed or failing job; 3 = an unwritable out= file
+//   dispatch    0 = merged clean; 1 = a shard reported a violation; 2 =
+//               launch/merge hard failure; 3 = shard unreadable / merged
+//               output unwritable
 //   any         2 = usage error (unknown command, unknown scenario, bad flag)
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -69,6 +114,11 @@
 #include "exp/report.hpp"
 #include "exp/shard.hpp"
 #include "exp/sweep.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/job.hpp"
+#include "svc/server.hpp"
+#include "svc/worker_pool.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -86,6 +136,13 @@ struct cli_options {
   bool have_shard = false;
   exp::shard_ref shard;
   double tol = 0.05;
+  std::string jobs;     ///< serve: input FIFO/file
+  std::string to;       ///< submit: target FIFO/file
+  usize shards = 0;     ///< dispatch: k
+  std::string command;  ///< dispatch: launch template override
+  std::string dir = "."; ///< dispatch: shard-file directory
+  bool keep_shards = false;
+  bool once = false;     ///< serve: exit at the first EOF even on a FIFO
   std::vector<std::string> names;  ///< scenario names, or files for merge/diff
 };
 
@@ -122,6 +179,8 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
         return false;
       }
       opt.have_shard = true;
+    } else if (parse_kv(a, "--shards", &v)) {
+      opt.shards = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--tol", &v)) {
       char* end = nullptr;
       opt.tol = std::strtod(v, &end);
@@ -131,6 +190,18 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       }
     } else if (parse_kv(a, "--out", &v)) {
       opt.out = v;
+    } else if (parse_kv(a, "--jobs", &v)) {
+      opt.jobs = v;
+    } else if (parse_kv(a, "--to", &v)) {
+      opt.to = v;
+    } else if (parse_kv(a, "--command", &v)) {
+      opt.command = v;
+    } else if (parse_kv(a, "--dir", &v)) {
+      opt.dir = v;
+    } else if (std::strcmp(a, "--keep-shards") == 0) {
+      opt.keep_shards = true;
+    } else if (std::strcmp(a, "--once") == 0) {
+      opt.once = true;
     } else if (std::strcmp(a, "--no-timing") == 0) {
       opt.no_timing = true;
     } else if (std::strcmp(a, "--scheduled-only") == 0) {
@@ -166,11 +237,20 @@ void usage(std::FILE* to) {
       "                                 1 on work/effectiveness regression\n"
       "                                 beyond --tol, 2 on new duplicates/\n"
       "                                 livelocks or missing cells\n"
+      "  serve [--jobs=FIFO]            resident service: persistent pool,\n"
+      "                                 job lines in, per-job JSON out\n"
+      "  submit <scenario ...>          append a canonical job line to --to\n"
+      "  batch <file>                   run a batch file of jobs on one\n"
+      "                                 persistent pool (docs/batch_format.md)\n"
+      "  dispatch --shards=k [...]      launch k shard subprocesses, wait,\n"
+      "                                 merge their JSON (--command templates\n"
+      "                                 the launch, e.g. over ssh)\n"
       "  help                           this text\n"
       "\n"
       "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R --pool=P\n"
       "         --shard=i/k --scheduled-only --out=FILE --no-timing --check\n"
-      "         --quiet --tol=T\n",
+      "         --quiet --tol=T --jobs=FILE --once --to=FILE --shards=K\n"
+      "         --command=TEMPLATE --dir=D --keep-shards\n",
       to);
 }
 
@@ -201,82 +281,79 @@ void print_reports(const std::vector<exp::run_report>& reports) {
   std::fputs(t.render().c_str(), stdout);
 }
 
-int run_cells(std::vector<exp::run_spec> all, const cli_options& opt) {
-  if (opt.scheduled_only) {
-    std::erase_if(all, [](const exp::run_spec& s) {
-      return s.driver != exp::driver_kind::scheduled;
-    });
-  }
-  if (all.empty()) {
-    std::fprintf(stderr, "no cells to run\n");
+/// Builds the job a run/sweep/submit/dispatch invocation describes. The
+/// CLI and the batch/serve service execute the identical structure, which
+/// is what makes their outputs byte-identical by construction.
+svc::job job_from_options(const cli_options& opt) {
+  svc::job j;
+  j.scenarios = opt.names;
+  j.params = opt.params;
+  j.scheduled_only = opt.scheduled_only;
+  j.no_timing = opt.no_timing;
+  j.have_shard = opt.have_shard;
+  j.shard = opt.shard;
+  j.out = opt.out;
+  return j;
+}
+
+int run_job(const svc::job& j, const cli_options& opt) {
+  svc::worker_pool pool(opt.pool);
+  svc::job_result result = svc::execute_job(j, pool);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
     return 2;
   }
-
-  const exp::shard_ref shard =
-      opt.have_shard ? opt.shard : exp::shard_ref{0, 1};
-  const std::vector<usize> indices = exp::shard_indices(all.size(), shard);
-  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
-  if (opt.have_shard) {
-    std::printf("shard %s: %zu of %zu cells\n", exp::to_string(shard).c_str(),
-                cells.size(), all.size());
+  if (j.have_shard) {
+    std::printf("shard %s: %zu of %zu cells\n", exp::to_string(j.shard).c_str(),
+                result.reports.size(), result.cells_total);
   }
 
-  exp::sweep_options sopt;
-  sopt.pool_size = opt.pool;
-  const exp::sweep_result pooled = exp::sweep(cells, sopt);
-
-  bool ok = true;
-  for (const exp::run_report& r : pooled.reports) ok = ok && r.at_most_once;
-
-  if (!opt.quiet) print_reports(pooled.reports);
+  bool ok = result.safe;
+  if (!opt.quiet) print_reports(result.reports);
   std::printf("%zu cells on %zu workers in %.2fs; at-most-once: %s\n",
-              cells.size(), pooled.pool_size, pooled.wall_seconds,
-              ok ? "yes" : "VIOLATED");
+              result.reports.size(), result.pool_used, result.wall_seconds,
+              result.safe ? "yes" : "VIOLATED");
 
-  if (opt.check && !cells.empty()) {
-    exp::sweep_options serial;
-    serial.pool_size = 1;
-    const exp::sweep_result ref = exp::sweep(cells, serial);
-    bool identical = ref.reports.size() == pooled.reports.size();
+  if (opt.check && !result.reports.empty()) {
+    svc::worker_pool serial(1);
+    const svc::job_result ref = svc::execute_job(j, serial);
+    bool identical = ref.ok() &&
+                     ref.reports.size() == result.reports.size();
     for (usize i = 0; identical && i < ref.reports.size(); ++i) {
       // os_threads cells are inherently non-reproducible; the determinism
       // guarantee covers scheduled cells.
-      if (cells[i].driver != exp::driver_kind::scheduled) continue;
-      identical = exp::equivalent(ref.reports[i], pooled.reports[i]);
+      if (result.reports[i].driver != exp::driver_kind::scheduled) continue;
+      identical = exp::equivalent(ref.reports[i], result.reports[i]);
     }
     std::printf("determinism check: pooled vs serial %s; speedup %.2fx\n",
                 identical ? "bit-identical" : "MISMATCH",
-                pooled.wall_seconds > 0 ? ref.wall_seconds / pooled.wall_seconds
-                                        : 0.0);
+                result.wall_seconds > 0
+                    ? ref.wall_seconds / result.wall_seconds
+                    : 0.0);
     ok = ok && identical;
   }
 
-  if (!opt.out.empty()) {
-    exp::json_writer json;
-    exp::add_sweep_records(json, pooled.reports, indices, all.size(),
-                           exp::grid_fingerprint(all), !opt.no_timing);
-    if (json.write(opt.out.c_str())) {
-      std::printf("[%zu records -> %s]\n", json.size(), opt.out.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+  if (!j.out.empty()) {
+    if (!write_file(j.out.c_str(), result.render_json())) {
+      std::fprintf(stderr, "failed to write %s\n", j.out.c_str());
       return 2;
     }
+    std::printf("[%zu records -> %s]\n", result.reports.size(), j.out.c_str());
   }
   return ok ? 0 : 1;
 }
 
 int cmd_run(const cli_options& opt) {
-  std::vector<exp::run_spec> cells;
-  for (const std::string& name : opt.names) {
-    const std::vector<exp::run_spec> c = exp::scenario_cells(name, opt.params);
-    cells.insert(cells.end(), c.begin(), c.end());
-  }
-  return run_cells(std::move(cells), opt);
+  return run_job(job_from_options(opt), opt);
 }
 
 int cmd_sweep(const cli_options& opt) {
   if (!opt.names.empty()) return cmd_run(opt);
-  return run_cells(exp::all_scenario_cells(opt.params), opt);
+  cli_options all = opt;
+  for (const exp::scenario& s : exp::scenario_registry()) {
+    all.names.push_back(s.name);
+  }
+  return run_job(job_from_options(all), all);
 }
 
 int cmd_merge(const cli_options& opt) {
@@ -340,6 +417,179 @@ int cmd_diff(const cli_options& opt) {
   return 2;
 }
 
+int cmd_serve(const cli_options& opt) {
+  if (!opt.names.empty()) {
+    std::fprintf(stderr, "serve takes no scenario arguments "
+                         "(submit jobs over --jobs or stdin)\n");
+    return 2;
+  }
+  // A FIFO reaches EOF whenever its last writer closes; a resident server
+  // must survive that and wait for the next submitter, so on a FIFO the
+  // serve loop reopens after every drained session (the open blocks until
+  // a writer appears). --once keeps the drain-one-session behaviour.
+  bool resident = false;
+  if (!opt.jobs.empty() && !opt.once) {
+    struct stat st {};
+    resident = ::stat(opt.jobs.c_str(), &st) == 0 && S_ISFIFO(st.st_mode);
+  }
+  svc::worker_pool pool(opt.pool);
+  svc::server_options sopt;
+  sopt.quiet = opt.quiet;
+  std::fprintf(stderr, "amo_lab serve: pool of %zu workers, reading jobs "
+                       "from %s%s\n",
+               pool.size(), opt.jobs.empty() ? "stdin" : opt.jobs.c_str(),
+               resident ? " (FIFO, resident: reopening on EOF)" : "");
+  svc::serve_summary sum;
+  if (opt.jobs.empty()) {
+    sum = svc::serve(std::cin, pool, sopt);
+  } else {
+    do {
+      std::ifstream in(opt.jobs);
+      if (!in) {
+        std::fprintf(stderr, "serve: cannot open %s\n", opt.jobs.c_str());
+        return 3;
+      }
+      const svc::serve_summary session = svc::serve(in, pool, sopt);
+      sum.jobs += session.jobs;
+      sum.rejected += session.rejected;
+      sum.failed += session.failed;
+      sum.unsafe += session.unsafe;
+      sum.io_errors += session.io_errors;
+      if (resident && !opt.quiet) {
+        std::fprintf(stderr, "amo_lab serve: session drained (%zu jobs so "
+                             "far); waiting for the next writer\n",
+                     sum.jobs);
+      }
+    } while (resident);
+  }
+  std::fprintf(stderr, "amo_lab serve: %zu jobs (%zu rejected, %zu failed, "
+                       "%zu unsafe, %zu I/O errors) on %zu pool batches\n",
+               sum.jobs, sum.rejected, sum.failed, sum.unsafe, sum.io_errors,
+               pool.batches_run());
+  return sum.exit_code();
+}
+
+int cmd_submit(const cli_options& opt) {
+  if (opt.names.empty()) {
+    std::fprintf(stderr, "submit: name at least one scenario (see amo_lab list)\n");
+    return 2;
+  }
+  for (const std::string& name : opt.names) {
+    if (exp::find_scenario(name) == nullptr) {
+      std::fprintf(stderr, "submit: unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+  const std::string line = svc::to_line(job_from_options(opt));
+  // Round-trip through the parser so a job that serve would reject can
+  // never be submitted in the first place.
+  svc::job parsed;
+  bool has_job = false;
+  std::string error;
+  if (!svc::parse_job_line(line, 1, parsed, has_job, error) || !has_job) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 2;
+  }
+  if (opt.to.empty()) {
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(opt.to.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "submit: cannot open %s\n", opt.to.c_str());
+    return 3;
+  }
+  const bool ok = std::fprintf(f, "%s\n", line.c_str()) > 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "submit: cannot write %s\n", opt.to.c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "submitted to %s: %s\n", opt.to.c_str(), line.c_str());
+  return 0;
+}
+
+int cmd_batch(const cli_options& opt) {
+  if (opt.names.size() != 1) {
+    std::fprintf(stderr, "batch: need exactly one batch file\n");
+    return 2;
+  }
+  svc::job_parse_result parsed = svc::parse_batch_file(opt.names[0].c_str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "amo_lab batch: %s\n", parsed.error.c_str());
+    return parsed.error.rfind("cannot ", 0) == 0 ? 3 : 2;
+  }
+  if (parsed.jobs.empty()) {
+    std::fprintf(stderr, "amo_lab batch: %s holds no jobs\n",
+                 opt.names[0].c_str());
+    return 2;
+  }
+  svc::worker_pool pool(opt.pool);
+  svc::server_options sopt;
+  sopt.quiet = opt.quiet;
+  const svc::serve_summary sum = svc::run_jobs(parsed.jobs, pool, sopt);
+  std::fprintf(stderr, "amo_lab batch: %zu jobs (%zu failed, %zu unsafe, "
+                       "%zu I/O errors) on a pool of %zu\n",
+               sum.jobs, sum.failed, sum.unsafe, sum.io_errors, pool.size());
+  return sum.exit_code();
+}
+
+int cmd_dispatch(const cli_options& opt, const char* argv0) {
+  if (opt.shards == 0) {
+    std::fprintf(stderr, "dispatch: need --shards=k (k >= 1)\n");
+    return 2;
+  }
+  if (opt.have_shard) {
+    std::fprintf(stderr, "dispatch: --shard belongs to the child sweeps; "
+                         "use --shards=k\n");
+    return 2;
+  }
+
+  // The child argument string: a canonical `sweep` invocation carrying
+  // every knob this process was given, so `dispatch --shards=k X` is the
+  // distributed spelling of `sweep X`.
+  std::string args = "sweep";
+  for (const std::string& name : opt.names) args += " " + name;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                " --n=%zu --m=%zu --beta=%zu --eps=%u --seed=%llu --seeds=%zu"
+                " --pool=%zu",
+                opt.params.n, opt.params.m, opt.params.beta, opt.params.eps_inv,
+                static_cast<unsigned long long>(opt.params.seed),
+                opt.params.seeds, opt.pool);
+  args += buf;
+  if (opt.scheduled_only) args += " --scheduled-only";
+  if (opt.no_timing) args += " --no-timing";
+  args += " --quiet";
+
+  svc::dispatch_options dopt;
+  dopt.shards = opt.shards;
+  dopt.self = argv0;
+  if (!opt.command.empty()) dopt.command = opt.command;
+  dopt.dir = opt.dir;
+  dopt.out = opt.out;
+  dopt.keep_shards = opt.keep_shards;
+  dopt.quiet = opt.quiet;
+
+  const svc::dispatch_result result = svc::dispatch(args, dopt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "amo_lab dispatch: %s\n", result.error.c_str());
+    for (const svc::shard_run& run : result.shards) {
+      if (run.exit_code != 0 && !run.output.empty()) {
+        std::fprintf(stderr, "--- shard %s output ---\n%s\n",
+                     exp::to_string(run.shard).c_str(), run.output.c_str());
+      }
+    }
+    return result.exit_code;
+  }
+  if (opt.out.empty()) {
+    std::fputs(exp::render_records(result.merged).c_str(), stdout);
+  } else {
+    std::printf("[%zu cells from %zu shards -> %s]\n", result.merged.size(),
+                result.shards.size(), opt.out.c_str());
+  }
+  return result.exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,6 +619,10 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(opt);
     if (cmd == "merge") return cmd_merge(opt);
     if (cmd == "diff") return cmd_diff(opt);
+    if (cmd == "serve") return cmd_serve(opt);
+    if (cmd == "submit") return cmd_submit(opt);
+    if (cmd == "batch") return cmd_batch(opt);
+    if (cmd == "dispatch") return cmd_dispatch(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "amo_lab: %s\n", e.what());
     return 2;
