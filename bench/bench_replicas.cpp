@@ -1,0 +1,156 @@
+// Replica-throughput scaling on the persistent pool — the replica layer's
+// claim: a cell's R deterministic replicas are independent schedulable
+// units, so raising --replicas multiplies the parallel work fed to one
+// svc::worker_pool without touching per-unit cost, and the folded
+// aggregate records stay byte-identical at any pool size.
+//
+// The bench sweeps one fixed scheduled grid at R in {1, 2, 8} on a
+// persistent 4-worker pool, checks the aggregate JSON against the serial
+// pool=1 reference (bit_identical gates in CI), and records wall clock and
+// units/second per R. Deterministic gating fields: duplicates,
+// min_effectiveness, work (sums over the seeded scheduled grid); timing
+// fields are diff-ignored and land in the artifact for the multicore
+// trajectory.
+#include <thread>
+
+#include "bench_common.hpp"
+#include "exp/report.hpp"
+#include "exp/shard.hpp"
+#include "exp/sweep.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace {
+
+using namespace amo;
+
+constexpr usize kPool = 4;  ///< fixed: comparable numbers on any host
+constexpr int kReps = 3;    ///< min-of-reps vs 1-core CI noise
+
+std::vector<exp::run_spec> grid(usize replicas) {
+  std::vector<exp::run_spec> cells;
+  for (const char* adv : {"random", "random+crash"}) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      exp::run_spec s;
+      s.label = std::string("replicas/") + adv;
+      s.algo = exp::algo_family::kk;
+      s.n = 256;
+      s.m = 3;
+      s.beta = 3;
+      s.crash_budget = 2;
+      s.replicas = replicas;
+      s.adversary = {adv, seed * 7919};
+      cells.push_back(std::move(s));
+    }
+  }
+  exp::run_spec iter;
+  iter.label = "replicas/iterative";
+  iter.algo = exp::algo_family::iterative;
+  iter.n = 256;
+  iter.m = 3;
+  iter.eps_inv = 2;
+  iter.replicas = replicas;
+  iter.adversary = {"random", 5};
+  cells.push_back(iter);
+  return cells;
+}
+
+std::string aggregate_json(const exp::sweep_result& swept, std::uint64_t fp) {
+  exp::json_writer json;
+  exp::add_cell_records(json, swept, fp, /*include_timing=*/false);
+  return json.dump();
+}
+
+}  // namespace
+
+int main() {
+  stopwatch total;
+  benchx::print_title(
+      "Replica scaling  (spec x R deterministic replicas on one pool)",
+      "claim: replicas are schedulable units — R multiplies the pool's\n"
+      "parallel work; folded aggregates stay bit-identical at any pool size");
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  svc::worker_pool pool(kPool);
+
+  benchx::json_report json;
+  text_table t({"replicas", "cells", "units", "wall/sweep", "units/s",
+                "units-vs-x1", "identical?"});
+  bool all_identical = true;
+  usize total_duplicates = 0;
+  double x1_per_unit = 0.0;
+
+  for (const usize replicas : {usize{1}, usize{2}, usize{8}}) {
+    const std::vector<exp::run_spec> cells = grid(replicas);
+    const usize units = exp::unit_count(cells);
+    const std::uint64_t fp = exp::grid_fingerprint(cells);
+
+    exp::sweep_result pooled;
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      exp::sweep_result cur = exp::sweep(cells, pool);
+      if (rep == 0 || cur.wall_seconds < best) {
+        best = cur.wall_seconds;
+        pooled = std::move(cur);
+      }
+    }
+
+    exp::sweep_options serial;
+    serial.pool_size = 1;
+    const exp::sweep_result reference = exp::sweep(cells, serial);
+    const bool identical =
+        aggregate_json(pooled, fp) == aggregate_json(reference, fp);
+    all_identical = all_identical && identical;
+
+    usize duplicates = 0;
+    usize work = 0;
+    usize min_effectiveness = ~usize{0};
+    for (const exp::run_report& r : pooled.reports) {
+      duplicates += r.perform_events - r.effectiveness;
+      work += r.total_work.total();
+      min_effectiveness = std::min(min_effectiveness, r.effectiveness);
+    }
+    total_duplicates += duplicates;
+
+    const double per_unit = best / static_cast<double>(units);
+    if (replicas == 1) x1_per_unit = per_unit;
+    const double units_per_second = best > 0 ? units / best : 0.0;
+    t.add_row({fmt_count(replicas), fmt_count(cells.size()), fmt_count(units),
+               fmt(best * 1e3, 2) + "ms", fmt_count(static_cast<usize>(units_per_second)),
+               benchx::ratio(x1_per_unit, per_unit) + "x",
+               benchx::yesno(identical)});
+
+    json.add({{"experiment", benchx::json_report::str("E_replica_scaling")},
+              {"scenario", benchx::json_report::str(
+                               "replicas/x" + std::to_string(replicas))},
+              {"replicas", benchx::json_report::num(std::uint64_t{replicas})},
+              {"cells", benchx::json_report::num(std::uint64_t{cells.size()})},
+              {"units", benchx::json_report::num(std::uint64_t{units})},
+              {"pool", benchx::json_report::num(std::uint64_t{kPool})},
+              {"hardware_concurrency", benchx::json_report::num(std::uint64_t{hc})},
+              {"duplicates", benchx::json_report::num(std::uint64_t{duplicates})},
+              {"min_effectiveness",
+               benchx::json_report::num(std::uint64_t{min_effectiveness})},
+              {"work", benchx::json_report::num(std::uint64_t{work})},
+              {"wall_seconds", benchx::json_report::num(best)},
+              {"units_per_second", benchx::json_report::num(units_per_second)},
+              {"bit_identical", benchx::json_report::boolean(identical)}});
+  }
+
+  benchx::print_table(t);
+  std::printf("\npool=%zu fixed; units-vs-x1 ~ 1x means replica cost is flat "
+              "(units are independent).\n", kPool);
+  if (hc <= 1) {
+    std::printf("NOTE: single hardware thread — the pool oversubscribes one "
+                "core; run on a multicore host (or see CI) for the scaling "
+                "numbers.\n");
+  }
+
+  if (json.write("BENCH_replicas.json")) {
+    std::printf("[%zu records -> BENCH_replicas.json]\n", json.size());
+  }
+  std::printf("\n[bench_replicas done in %.1fs; duplicates %zu, "
+              "bit-identical %s]\n",
+              total.seconds(), total_duplicates,
+              benchx::yesno(all_identical).c_str());
+  return (total_duplicates == 0 && all_identical) ? 0 : 1;
+}

@@ -33,13 +33,23 @@ constexpr field_rule kRules[] = {
     {"eps_inv", field_class::identity},
     {"crash_budget", field_class::identity},
     {"rule", field_class::identity},
+    // replica identity: R=8 and R=4 sweeps of one spec are different
+    // experiments (different sample sizes), and two replicas of one cell
+    // share every spec-echo field except their derived seed — keep both in
+    // the key so per-unit shard files stay diffable too.
+    {"replicas", field_class::identity},
+    {"replica", field_class::identity},
     // ignored — grid position (merge validates these; keeping them out of
     // the identity key lets sweeps of different or reordered grids still
     // match cells by their spec echo) and timing / environment
     {"cell", field_class::ignored},
     {"cells_total", field_class::ignored},
+    {"unit", field_class::ignored},
+    {"units_total", field_class::ignored},
     {"grid", field_class::ignored},
     {"wall_seconds", field_class::ignored},
+    {"job_wall_seconds", field_class::ignored},
+    {"job_queue_seconds", field_class::ignored},
     {"serial_wall_seconds", field_class::ignored},
     {"pooled_wall_seconds", field_class::ignored},
     {"speedup", field_class::ignored},
@@ -84,14 +94,35 @@ constexpr field_rule kRules[] = {
 
 std::string identity_key(const record& rec) {
   std::string key;
+  // The replica fields join the key in a canonical suffix position, and an
+  // absent "replicas" means 1 — so a pre-replica artifact still matches
+  // the byte-equivalent replicas=1 sweep of today (same cells, same
+  // draws), while R=8 vs R=4 sweeps stay distinct experiments.
+  std::string replica;
+  std::string replicas = "1";
   for (const record_field& f : rec.fields) {
+    if (f.key == "replica") {
+      replica = f.raw;
+      continue;
+    }
+    if (f.key == "replicas") {
+      replicas = f.raw;
+      continue;
+    }
     if (classify_field(f.key) != field_class::identity) continue;
     if (!key.empty()) key += ' ';
     key += f.key;
     key += '=';
     key += f.type == record_field::kind::string ? f.text : f.raw;
   }
-  return key.empty() ? "<no identity fields>" : key;
+  if (key.empty() && replica.empty()) return "<no identity fields>";
+  if (!replica.empty()) {
+    if (!key.empty()) key += ' ';
+    key += "replica=" + replica;
+  }
+  if (!key.empty()) key += ' ';
+  key += "replicas=" + replicas;
+  return key;
 }
 
 std::string percent(double base, double cand) {
@@ -244,6 +275,33 @@ const char* to_string(diff_severity s) {
 field_class classify_field(std::string_view name) {
   for (const field_rule& r : kRules) {
     if (r.name == name) return r.cls;
+  }
+  // Replica-aggregate suffixes inherit the base metric's direction:
+  // effectiveness_min gates like effectiveness, work_p95 gates like work.
+  // Spread (stddev) is shape, not level — reported, never gating.
+  auto strip = [&name](std::string_view suffix) -> std::string_view {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+    return {};
+  };
+  // Anything wall-clock- or throughput-shaped is a measurement, not a
+  // claim: spawn_wall_seconds, units_per_second, ... differ across hosts
+  // by design, exactly like the exact-name timing fields above.
+  if (!strip("_wall_seconds").empty() || !strip("_per_second").empty()) {
+    return field_class::ignored;
+  }
+  if (!strip("_stddev").empty()) return field_class::informational;
+  for (const std::string_view suffix : {"_min", "_mean", "_max", "_p50", "_p95"}) {
+    const std::string_view base = strip(suffix);
+    if (base.empty()) continue;
+    for (const field_rule& r : kRules) {
+      if (r.name == base && (r.cls == field_class::lower_worse ||
+                             r.cls == field_class::higher_worse)) {
+        return r.cls;
+      }
+    }
   }
   return field_class::informational;
 }

@@ -1,7 +1,11 @@
 #include "exp/merge.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+
+#include "exp/report.hpp"
+#include "exp/stats.hpp"
 
 namespace amo::exp {
 
@@ -17,9 +21,48 @@ bool read_index(const record& rec, const char* key, usize& out) {
   return true;
 }
 
-}  // namespace
+std::string shard_tag(usize si) { return "shard " + std::to_string(si); }
 
-merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
+/// The shared half of both merge paths' coverage contract: sorts the
+/// entries by their global index (projection `idx`; entries carry a
+/// `.shard` for the messages) and verifies they tile 0..total-1 exactly
+/// once. `what` names the index space ("cell" / "unit") in errors.
+template <class Entry, class Proj>
+bool sort_check_coverage(std::vector<Entry>& all, usize total,
+                         const char* what, Proj idx, std::string& error) {
+  std::stable_sort(all.begin(), all.end(), [&idx](const Entry& a, const Entry& b) {
+    return idx(a) < idx(b);
+  });
+  for (usize i = 0; i + 1 < all.size(); ++i) {
+    if (idx(all[i]) == idx(all[i + 1])) {
+      error = std::string("duplicate ") + what + " " +
+              std::to_string(idx(all[i])) + " (shards " +
+              std::to_string(all[i].shard) + " and " +
+              std::to_string(all[i + 1].shard) + " both ran it)";
+      return false;
+    }
+  }
+  if (all.size() != total) {
+    // Find the first gap for the message.
+    usize expect = 0;
+    for (const Entry& e : all) {
+      if (idx(e) != expect) break;
+      ++expect;
+    }
+    error = std::string("coverage gap: ") + what + " " +
+            std::to_string(expect) + " missing (" +
+            std::to_string(all.size()) + " of " + std::to_string(total) +
+            " " + what + "s present)";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy path: per-cell records (no "unit" field). Pass-through merge.
+// ---------------------------------------------------------------------------
+
+merge_result merge_cell_records(const std::vector<std::vector<record>>& shards) {
   merge_result out;
 
   struct indexed {
@@ -35,16 +78,15 @@ merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
       usize total = 0;
       if (!read_index(rec, "cell", cell) ||
           !read_index(rec, "cells_total", total)) {
-        out.error = "shard " + std::to_string(si) +
+        out.error = shard_tag(si) +
                     ": record without integer cell/cells_total fields "
                     "(not a sharded sweep output?)";
         return out;
       }
       if (all.empty() && out.cells_total == 0) out.cells_total = total;
       if (total != out.cells_total) {
-        out.error = "shard " + std::to_string(si) + ": cells_total " +
-                    std::to_string(total) + " disagrees with " +
-                    std::to_string(out.cells_total) +
+        out.error = shard_tag(si) + ": cells_total " + std::to_string(total) +
+                    " disagrees with " + std::to_string(out.cells_total) +
                     " (shards of different grids?)";
         return out;
       }
@@ -56,48 +98,316 @@ merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
           g != nullptr && g->type == record_field::kind::string ? g->text : "";
       if (all.empty()) grid = this_grid;
       if (this_grid != grid) {
-        out.error = "shard " + std::to_string(si) + ": grid fingerprint '" +
-                    this_grid + "' disagrees with '" + grid +
+        out.error = shard_tag(si) + ": grid fingerprint '" + this_grid +
+                    "' disagrees with '" + grid +
                     "' (shards of different sweeps)";
         return out;
       }
       if (cell >= total) {
-        out.error = "shard " + std::to_string(si) + ": cell index " +
-                    std::to_string(cell) + " out of range [0, " +
-                    std::to_string(total) + ")";
+        out.error = shard_tag(si) + ": cell index " + std::to_string(cell) +
+                    " out of range [0, " + std::to_string(total) + ")";
         return out;
       }
       all.push_back({cell, si, &rec});
     }
   }
 
-  std::stable_sort(all.begin(), all.end(),
-                   [](const indexed& a, const indexed& b) { return a.cell < b.cell; });
-
-  for (usize i = 0; i + 1 < all.size(); ++i) {
-    if (all[i].cell == all[i + 1].cell) {
-      out.error = "duplicate cell " + std::to_string(all[i].cell) +
-                  " (shards " + std::to_string(all[i].shard) + " and " +
-                  std::to_string(all[i + 1].shard) + " both ran it)";
-      return out;
-    }
-  }
-  if (all.size() != out.cells_total) {
-    // Find the first gap for the message.
-    usize expect = 0;
-    for (const indexed& e : all) {
-      if (e.cell != expect) break;
-      ++expect;
-    }
-    out.error = "coverage gap: cell " + std::to_string(expect) +
-                " missing (" + std::to_string(all.size()) + " of " +
-                std::to_string(out.cells_total) + " cells present)";
+  if (!sort_check_coverage(all, out.cells_total, "cell",
+                           [](const indexed& e) { return e.cell; },
+                           out.error)) {
     return out;
   }
 
   out.records.reserve(all.size());
   for (const indexed& e : all) out.records.push_back(*e.rec);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replica path: per-unit records. Re-group by cell, re-fold through
+// exp::stats, render the aggregate records add_cell_records would have.
+// ---------------------------------------------------------------------------
+
+/// One parsed unit record plus its bookkeeping indices.
+struct unit_entry {
+  usize unit = 0;
+  usize cell = 0;
+  usize replica = 0;
+  usize replicas = 0;
+  usize shard = 0;
+  const record* rec = nullptr;
+};
+
+/// Bookkeeping / timing keys a unit record carries that the aggregate
+/// record must not copy verbatim: positions are re-emitted, wall clocks
+/// are re-summed, per-job serve fields are job-scoped not cell-scoped.
+bool is_unit_bookkeeping(const std::string& key) {
+  return key == "unit" || key == "units_total" || key == "cell" ||
+         key == "cells_total" || key == "replica" || key == "replicas" ||
+         key == "grid" || key == "wall_seconds" ||
+         key == "job_wall_seconds" || key == "job_queue_seconds";
+}
+
+/// Reads the named numeric field of every record in [first, last) into a
+/// replica-ordered sample vector.
+bool metric_samples(const std::vector<unit_entry>& units, usize first,
+                    usize last, const char* key, std::vector<double>& out,
+                    std::string& error) {
+  out.clear();
+  out.reserve(last - first);
+  for (usize i = first; i < last; ++i) {
+    const record_field* f = units[i].rec->find(key);
+    if (f == nullptr || f->type != record_field::kind::number) {
+      error = "unit " + std::to_string(units[i].unit) +
+              ": record has no numeric '" + key +
+              "' field — cannot fold replica aggregates";
+      return false;
+    }
+    out.push_back(f->number);
+  }
+  return true;
+}
+
+/// AND-folds the named boolean field over [first, last); false (plus
+/// `error`) when a record lacks it.
+bool fold_flag(const std::vector<unit_entry>& units, usize first, usize last,
+               const char* key, bool& out, std::string& error) {
+  out = true;
+  for (usize i = first; i < last; ++i) {
+    const record_field* f = units[i].rec->find(key);
+    if (f == nullptr || f->type != record_field::kind::boolean) {
+      error = "unit " + std::to_string(units[i].unit) +
+              ": record has no boolean '" + key + "' field";
+      return false;
+    }
+    out = out && f->truth;
+  }
+  return true;
+}
+
+merge_result merge_unit_records(const std::vector<std::vector<record>>& shards) {
+  merge_result out;
+
+  std::vector<unit_entry> all;
+  std::string grid;
+  bool first_seen = false;
+  for (usize si = 0; si < shards.size(); ++si) {
+    for (const record& rec : shards[si]) {
+      unit_entry e;
+      e.shard = si;
+      e.rec = &rec;
+      usize units_total = 0;
+      usize cells_total = 0;
+      if (!read_index(rec, "unit", e.unit) ||
+          !read_index(rec, "units_total", units_total) ||
+          !read_index(rec, "cell", e.cell) ||
+          !read_index(rec, "cells_total", cells_total) ||
+          !read_index(rec, "replica", e.replica) ||
+          !read_index(rec, "replicas", e.replicas)) {
+        out.error = shard_tag(si) +
+                    ": record mixes replica-aware and legacy schemas "
+                    "(unit/units_total/cell/cells_total/replica/replicas "
+                    "must all be integers)";
+        return out;
+      }
+      const record_field* g = rec.find("grid");
+      const std::string this_grid =
+          g != nullptr && g->type == record_field::kind::string ? g->text : "";
+      if (!first_seen) {
+        out.units_total = units_total;
+        out.cells_total = cells_total;
+        grid = this_grid;
+        first_seen = true;
+      }
+      if (units_total != out.units_total || cells_total != out.cells_total) {
+        out.error = shard_tag(si) + ": units_total/cells_total " +
+                    std::to_string(units_total) + "/" +
+                    std::to_string(cells_total) + " disagree with " +
+                    std::to_string(out.units_total) + "/" +
+                    std::to_string(out.cells_total) +
+                    " (shards of different grids?)";
+        return out;
+      }
+      if (this_grid != grid) {
+        out.error = shard_tag(si) + ": grid fingerprint '" + this_grid +
+                    "' disagrees with '" + grid +
+                    "' (shards of different sweeps)";
+        return out;
+      }
+      if (e.unit >= units_total || e.cell >= cells_total ||
+          e.replica >= e.replicas) {
+        out.error = shard_tag(si) + ": unit " + std::to_string(e.unit) +
+                    " (cell " + std::to_string(e.cell) + ", replica " +
+                    std::to_string(e.replica) + "/" +
+                    std::to_string(e.replicas) + ") out of range";
+        return out;
+      }
+      all.push_back(e);
+    }
+  }
+
+  if (!sort_check_coverage(all, out.units_total, "unit",
+                           [](const unit_entry& e) { return e.unit; },
+                           out.error)) {
+    return out;
+  }
+
+  // Full unit coverage in hand: the sorted entries must now tile the grid
+  // cell-major — cells 0..cells_total-1 in order, each cell's replicas
+  // 0..R-1 in order. Anything else means the records lie about their grid.
+  usize expect_cell = 0;
+  for (usize first = 0; first < all.size();) {
+    const usize cell = all[first].cell;
+    const usize replicas = all[first].replicas;
+    if (cell != expect_cell) {
+      out.error = "unit " + std::to_string(all[first].unit) +
+                  " claims cell " + std::to_string(cell) + " where cell " +
+                  std::to_string(expect_cell) +
+                  " was expected (inconsistent unit numbering)";
+      return out;
+    }
+    for (usize r = 0; r < replicas; ++r) {
+      const usize i = first + r;
+      if (i >= all.size() || all[i].cell != cell || all[i].replica != r ||
+          all[i].replicas != replicas) {
+        out.error = "cell " + std::to_string(cell) + ": replica " +
+                    std::to_string(r) + " of " + std::to_string(replicas) +
+                    " missing or inconsistent";
+        return out;
+      }
+    }
+    first += replicas;
+    ++expect_cell;
+  }
+  if (expect_cell != out.cells_total) {
+    out.error = "coverage gap: cell " + std::to_string(expect_cell) +
+                " missing (" + std::to_string(expect_cell) + " of " +
+                std::to_string(out.cells_total) + " cells present)";
+    return out;
+  }
+
+  // Re-fold each cell and render the aggregate record add_cell_records
+  // would have emitted: raw tokens of the base replica pass through, the
+  // safety fields fold, the summaries are recomputed from the parsed
+  // replica values — bit-equal to the in-process fold because
+  // json_writer::num round-trips exactly.
+  using W = json_writer;
+  out.records.reserve(out.cells_total);
+  for (usize first = 0; first < all.size();) {
+    const usize replicas = all[first].replicas;
+    const usize last = first + replicas;
+    const record& base = *all[first].rec;
+
+    cell_stats st;
+    st.replicas = replicas;
+    std::vector<double> samples;
+    std::string err;
+    // The same summary_metrics() table fold_replicas and summary_values
+    // iterate: a metric added there is automatically re-folded here.
+    for (const summary_metric& m : summary_metrics()) {
+      if (!metric_samples(all, first, last, m.name, samples, err)) {
+        out.error = std::move(err);
+        return out;
+      }
+      st.*m.summary = summarize(samples);
+    }
+    if (!fold_flag(all, first, last, "at_most_once", st.at_most_once, err) ||
+        !fold_flag(all, first, last, "quiescent", st.quiescent, err) ||
+        !fold_flag(all, first, last, "wa_complete", st.wa_complete, err)) {
+      out.error = std::move(err);
+      return out;
+    }
+
+    // duplicate: the first replica's duplicate job, replica order (the
+    // fold exp::fold_replicas applies to in-memory reports).
+    std::string duplicate_raw = "0";
+    for (usize i = first; i < last; ++i) {
+      const record_field* d = all[i].rec->find("duplicate");
+      if (d != nullptr && d->type == record_field::kind::number &&
+          d->number != 0) {
+        duplicate_raw = d->raw;
+        break;
+      }
+    }
+
+    // Summed wall clock, present iff the unit records carried one.
+    bool have_wall = false;
+    double wall = 0.0;
+    for (usize i = first; i < last; ++i) {
+      const record_field* w = all[i].rec->find("wall_seconds");
+      if (w != nullptr && w->type == record_field::kind::number) {
+        have_wall = true;
+        wall += w->number;
+      }
+    }
+
+    // duplicate_raw was written by json_writer::num, so re-parsing it for
+    // the decoded .number is exact — the in-memory records downstream
+    // consumers (report_diff, a re-merge) see must agree with their raws.
+    record agg;
+    auto copy_field = [&agg, &base](const char* key) {
+      const record_field* f = base.find(key);
+      if (f != nullptr) agg.fields.push_back(*f);
+    };
+    auto push_number = [&agg](std::string key, double value, std::string raw) {
+      record_field f;
+      f.key = std::move(key);
+      f.type = record_field::kind::number;
+      f.number = value;
+      f.raw = std::move(raw);
+      agg.fields.push_back(std::move(f));
+    };
+    // The position prefix copies the base replica's decoded fields whole
+    // (raw AND value); a unit file written without a grid fingerprint
+    // simply yields an aggregate without one, never an empty token.
+    copy_field("cell");
+    copy_field("cells_total");
+    copy_field("grid");
+    copy_field("replicas");
+    for (const record_field& f : base.fields) {
+      if (is_unit_bookkeeping(f.key)) continue;
+      record_field g = f;
+      if (f.key == "at_most_once") {
+        g.raw = W::boolean(st.at_most_once);
+        g.truth = st.at_most_once;
+      } else if (f.key == "quiescent") {
+        g.raw = W::boolean(st.quiescent);
+        g.truth = st.quiescent;
+      } else if (f.key == "wa_complete") {
+        g.raw = W::boolean(st.wa_complete);
+        g.truth = st.wa_complete;
+      } else if (f.key == "duplicate") {
+        g.raw = duplicate_raw;
+        std::from_chars(duplicate_raw.data(),
+                        duplicate_raw.data() + duplicate_raw.size(), g.number);
+      }
+      agg.fields.push_back(std::move(g));
+    }
+    for (auto& [key, value] : summary_values(st)) {
+      push_number(std::move(key), value, W::num(value));
+    }
+    if (have_wall) {
+      push_number("wall_seconds", wall, W::num(wall));
+    }
+    out.records.push_back(std::move(agg));
+    first = last;
+  }
+  return out;
+}
+
+}  // namespace
+
+merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
+  // Schema sniff: the first record decides (a unit record always carries
+  // "unit"); mixing schemas across shards is caught by the chosen path's
+  // field validation.
+  for (const std::vector<record>& shard : shards) {
+    for (const record& rec : shard) {
+      return rec.find("unit") != nullptr ? merge_unit_records(shards)
+                                         : merge_cell_records(shards);
+    }
+  }
+  return {};  // no records anywhere: an empty merge is a success
 }
 
 }  // namespace amo::exp

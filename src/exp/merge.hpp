@@ -1,12 +1,19 @@
 // Recombines sharded sweep outputs into the byte-identical equivalent of
 // the unsharded sweep.
 //
-// Every record amo_lab emits carries its global "cell" index plus the full
-// grid size "cells_total"; merging sorts the union of all shard files by
-// that index and re-renders it through the shared record layer. The
-// contract is strict: the shards must agree on cells_total, and the union
-// must cover 0..cells_total-1 with no duplicate and no gap — anything else
-// (a shard run twice, a shard missing, shards from different grids) is an
+// Replica-aware shards (since the replica refactor) emit one record per
+// (cell, replica) UNIT, keyed by "unit"/"units_total"; the merge re-groups
+// the units by cell, re-folds each cell's replicas through exp::stats, and
+// renders the same aggregate records add_cell_records would have — byte
+// identical, because json_writer::num is round-trip-exact and the fold is
+// a deterministic function of the replica values in replica order. Legacy
+// per-cell records (no "unit" field — old artifacts, BENCH files) merge as
+// before: sort by "cell", pass raw tokens through.
+//
+// The contract is strict in both modes: the shards must agree on the grid
+// (fingerprint + sizes), and the union must cover the whole index space
+// with no duplicate and no gap — anything else (a shard run twice, a shard
+// missing, shards from different grids, a cell missing a replica) is an
 // error, not a best-effort output.
 #pragma once
 
@@ -20,6 +27,7 @@ namespace amo::exp {
 struct merge_result {
   std::vector<record> records;  ///< sorted by cell index; empty on error
   usize cells_total = 0;        ///< the grid size the shards agreed on
+  usize units_total = 0;        ///< replica-aware shards: units recombined
   std::string error;            ///< empty on success
 
   [[nodiscard]] bool ok() const { return error.empty(); }

@@ -1,7 +1,10 @@
 #include "exp/record.hpp"
 
+#include <locale.h>
+#include <stdlib.h>
+
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 
 #include "exp/report.hpp"
@@ -196,7 +199,10 @@ bool parse_value(scanner& sc, record_field& f) {
     sc.fail("bad literal");
     return false;
   }
-  // Number: take the maximal [-+0-9.eE] run and let strtod validate it.
+  // Number: take the maximal [-+0-9.eE] run and let from_chars validate it
+  // (strtod obeys LC_NUMERIC and would both misparse "0.5" and accept
+  // locale-specific spellings under a comma-decimal locale; from_chars is
+  // locale-independent and round-trip-exact against json_writer::num).
   const usize start = sc.pos;
   while (!sc.eof()) {
     const char d = sc.peek();
@@ -210,9 +216,26 @@ bool parse_value(scanner& sc, record_field& f) {
     return false;
   }
   f.raw = std::string(sc.doc.substr(start, sc.pos - start));
-  char* end = nullptr;
-  f.number = std::strtod(f.raw.c_str(), &end);
-  if (end == nullptr || *end != '\0' || end == f.raw.c_str()) {
+  // from_chars rejects a leading '+' that strtod tolerated; keep accepting
+  // it for foreign documents ("+1e3") without changing the stored raw.
+  const char* first = f.raw.c_str();
+  const char* last = first + f.raw.size();
+  if (first != last && *first == '+') ++first;
+  const auto [end, ec] = std::from_chars(first, last, f.number);
+  if (ec == std::errc::result_out_of_range && end == last) {
+    // A well-formed number whose magnitude exceeds double (1e999, 1e-999):
+    // strtod used to clamp these to ±inf / ±0 and prior releases accepted
+    // such artifacts, so keep doing that. from_chars leaves the value
+    // unmodified here, and the clamp direction needs a real float parse —
+    // delegate to strtod pinned to the "C" locale (the token's '.' must
+    // not be re-read under a comma-decimal LC_NUMERIC). Should newlocale
+    // ever fail (ENOMEM), fall back to the ambient-locale strtod rather
+    // than hand a null locale_t to strtod_l (undefined behavior).
+    static const locale_t c_locale = ::newlocale(LC_ALL_MASK, "C", nullptr);
+    f.number = c_locale != static_cast<locale_t>(nullptr)
+                   ? ::strtod_l(first, nullptr, c_locale)
+                   : ::strtod(first, nullptr);
+  } else if (ec != std::errc{} || end != last) {
     sc.fail("malformed number '" + f.raw + "'");
     return false;
   }

@@ -268,13 +268,26 @@ const scenario* find_scenario(std::string_view name) {
   return nullptr;
 }
 
+namespace {
+
+/// Replica fan-out applied after expansion so no scenario lambda can
+/// forget it: every cell of every scenario runs params.replicas replicas.
+std::vector<run_spec> with_replicas(std::vector<run_spec> cells,
+                                    const scenario_params& params) {
+  const usize replicas = std::max<usize>(1, params.replicas);
+  for (run_spec& c : cells) c.replicas = replicas;
+  return cells;
+}
+
+}  // namespace
+
 std::vector<run_spec> scenario_cells(std::string_view name,
                                      const scenario_params& params) {
   const scenario* s = find_scenario(name);
   if (s == nullptr) {
     throw std::invalid_argument("unknown scenario '" + std::string(name) + "'");
   }
-  return s->make_cells(params);
+  return with_replicas(s->make_cells(params), params);
 }
 
 std::vector<run_spec> all_scenario_cells(const scenario_params& params) {
@@ -284,7 +297,7 @@ std::vector<run_spec> all_scenario_cells(const scenario_params& params) {
     cells.insert(cells.end(), std::make_move_iterator(c.begin()),
                  std::make_move_iterator(c.end()));
   }
-  return cells;
+  return with_replicas(std::move(cells), params);
 }
 
 }  // namespace amo::exp

@@ -24,7 +24,11 @@ struct scenario_params {
   usize beta = 0;         ///< kk family; 0 = m
   unsigned eps_inv = 2;   ///< iterative families
   std::uint64_t seed = 1; ///< first adversary seed
-  usize seeds = 2;        ///< seed replicas per scenario
+  usize seeds = 2;        ///< seed variants per scenario (distinct cells)
+  usize replicas = 1;     ///< deterministic replicas per cell (run_spec::
+                          ///< replicas; aggregated by exp::stats). seeds
+                          ///< multiplies CELLS, replicas multiplies RUNS
+                          ///< per cell — 0 means 1.
 
   friend bool operator==(const scenario_params&, const scenario_params&) = default;
 };

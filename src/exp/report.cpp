@@ -1,5 +1,6 @@
 #include "exp/report.hpp"
 
+#include <charconv>
 #include <cstdio>
 
 #include "util/fileio.hpp"
@@ -7,9 +8,12 @@
 namespace amo::exp {
 
 std::string json_writer::num(double v) {
+  // std::to_chars: shortest representation that parses back to exactly v,
+  // locale-independent by definition (snprintf %g obeys LC_NUMERIC and
+  // would emit "0,5" under a comma-decimal locale — an unparseable record).
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("0");
 }
 
 std::string json_writer::str(const std::string& s) {
@@ -118,13 +122,28 @@ void add_reports(json_writer& out, const std::vector<run_report>& reports,
   }
 }
 
+namespace {
+
+std::string grid_hex(std::uint64_t grid) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(grid));
+  return buf;
+}
+
+void append_moved(std::vector<std::pair<std::string, std::string>>& dst,
+                  std::vector<std::pair<std::string, std::string>>&& src) {
+  dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+             std::make_move_iterator(src.end()));
+}
+
+}  // namespace
+
 void add_sweep_records(json_writer& out, const std::vector<run_report>& reports,
                        const std::vector<usize>& cell_indices,
                        usize cells_total, std::uint64_t grid,
                        bool include_timing) {
-  char grid_hex[20];
-  std::snprintf(grid_hex, sizeof grid_hex, "%016llx",
-                static_cast<unsigned long long>(grid));
+  const std::string fp = grid_hex(grid);
   for (usize i = 0; i < reports.size(); ++i) {
     std::vector<std::pair<std::string, std::string>> fields;
     fields.reserve(35);
@@ -132,10 +151,75 @@ void add_sweep_records(json_writer& out, const std::vector<run_report>& reports,
                         json_writer::num(std::uint64_t{cell_indices[i]}));
     fields.emplace_back("cells_total",
                         json_writer::num(std::uint64_t{cells_total}));
-    fields.emplace_back("grid", json_writer::str(grid_hex));
-    auto rest = report_fields(reports[i], include_timing);
-    fields.insert(fields.end(), std::make_move_iterator(rest.begin()),
-                  std::make_move_iterator(rest.end()));
+    fields.emplace_back("grid", json_writer::str(fp));
+    append_moved(fields, report_fields(reports[i], include_timing));
+    out.add(fields);
+  }
+}
+
+void add_cell_records(json_writer& out, const sweep_result& swept,
+                      std::uint64_t grid, bool include_timing,
+                      const extra_fields& extra) {
+  using W = json_writer;
+  const std::string fp = grid_hex(grid);
+  for (usize i = 0; i < swept.cells.size(); ++i) {
+    const cell_report& cr = swept.cells[i];
+    const cell_stats& st = cr.stats;
+    const run_report& base = swept.reports[cr.first];
+
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.reserve(64);
+    fields.emplace_back("cell", W::num(std::uint64_t{i}));
+    fields.emplace_back("cells_total",
+                        W::num(std::uint64_t{swept.cells.size()}));
+    fields.emplace_back("grid", W::str(fp));
+    fields.emplace_back("replicas", W::num(std::uint64_t{cr.replicas}));
+
+    // The base replica's record, with the safety fields replaced by their
+    // any-replica fold: one violating replica marks the whole cell. The
+    // per-draw metrics (effectiveness, work, ...) stay the base-seed
+    // draw's, so replicas = 1 preserves the pre-replica record values.
+    auto base_fields = report_fields(base, /*include_timing=*/false);
+    for (auto& [key, value] : base_fields) {
+      if (key == "at_most_once") {
+        value = W::boolean(st.at_most_once);
+      } else if (key == "quiescent") {
+        value = W::boolean(st.quiescent);
+      } else if (key == "wa_complete") {
+        value = W::boolean(st.wa_complete);
+      } else if (key == "duplicate") {
+        value = W::num(std::uint64_t{st.duplicate});
+      }
+    }
+    append_moved(fields, std::move(base_fields));
+    append_moved(fields, summary_fields(st));
+    if (include_timing) {
+      fields.emplace_back("wall_seconds", W::num(st.wall_seconds));
+    }
+    fields.insert(fields.end(), extra.begin(), extra.end());
+    out.add(fields);
+  }
+}
+
+void add_unit_records(json_writer& out, const std::vector<run_report>& reports,
+                      const std::vector<unit_ref>& units, usize units_total,
+                      usize cells_total, std::uint64_t grid,
+                      bool include_timing, const extra_fields& extra) {
+  using W = json_writer;
+  const std::string fp = grid_hex(grid);
+  for (usize i = 0; i < reports.size(); ++i) {
+    const unit_ref& u = units[i];
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.reserve(40);
+    fields.emplace_back("unit", W::num(std::uint64_t{u.unit}));
+    fields.emplace_back("units_total", W::num(std::uint64_t{units_total}));
+    fields.emplace_back("cell", W::num(std::uint64_t{u.cell}));
+    fields.emplace_back("cells_total", W::num(std::uint64_t{cells_total}));
+    fields.emplace_back("replica", W::num(std::uint64_t{u.replica}));
+    fields.emplace_back("replicas", W::num(std::uint64_t{u.cell_replicas}));
+    fields.emplace_back("grid", W::str(fp));
+    append_moved(fields, report_fields(reports[i], include_timing));
+    fields.insert(fields.end(), extra.begin(), extra.end());
     out.add(fields);
   }
 }

@@ -16,7 +16,9 @@
 #include <utility>
 #include <vector>
 
+#include "exp/shard.hpp"
 #include "exp/spec.hpp"
+#include "exp/sweep.hpp"
 
 namespace amo::exp {
 
@@ -24,6 +26,11 @@ namespace amo::exp {
 /// array. Values are passed pre-encoded via num()/str()/boolean().
 class json_writer {
  public:
+  /// Shortest round-trip decimal via std::to_chars: locale-independent
+  /// (always '.'-separated, whatever LC_NUMERIC says) and value-exact —
+  /// parsing the token back yields bit-equal v, which is what lets
+  /// exp::merge_shards re-fold parsed replica records into aggregates
+  /// byte-identical to the in-process fold.
   static std::string num(double v);
   static std::string num(std::uint64_t v) { return std::to_string(v); }
   static std::string str(const std::string& s);
@@ -57,15 +64,43 @@ class json_writer {
 void add_reports(json_writer& out, const std::vector<run_report>& reports,
                  bool include_timing = true);
 
-/// Sweep-grid records: report_fields prefixed with the record's global grid
-/// position {"cell": cell_indices[i], "cells_total": cells_total} and the
-/// grid's fingerprint {"grid": hex of exp::grid_fingerprint(full grid)}.
-/// These fields are what exp::merge_shards keys on, and emitting them from
-/// unsharded sweeps too is what makes merge output byte-identical to a
-/// one-shot run. Requires cell_indices.size() == reports.size().
+/// Legacy sweep-grid records (pre-replica schema): report_fields prefixed
+/// with the record's global grid position {"cell": cell_indices[i],
+/// "cells_total": cells_total} and the grid's fingerprint {"grid": hex of
+/// exp::grid_fingerprint(full grid)}. Kept for non-replicated record
+/// producers and the merge pass-through path; replica-aware sweeps emit
+/// add_cell_records / add_unit_records below.
 void add_sweep_records(json_writer& out, const std::vector<run_report>& reports,
                        const std::vector<usize>& cell_indices,
                        usize cells_total, std::uint64_t grid,
                        bool include_timing = true);
+
+/// Extra caller-supplied fields appended verbatim at the end of each
+/// record (e.g. the serve layer's per-job timing fields).
+using extra_fields = std::vector<std::pair<std::string, std::string>>;
+
+/// Aggregate cell records — what an unsharded sweep emits: one record per
+/// cell, {"cell", "cells_total", "grid", "replicas"}, then the base
+/// replica's report_fields with the safety fields (at_most_once,
+/// quiescent, wa_complete, duplicate) replaced by their any-replica fold,
+/// then exp::summary_fields, then the cell's summed wall clock (timing
+/// runs only). Aggregate output is always the whole grid (sharded sweeps
+/// emit per-unit records instead), so record i's "cell" index is i and
+/// cells_total is swept.cells.size(). exp::merge_shards rebuilds exactly
+/// these bytes from per-unit shard records.
+void add_cell_records(json_writer& out, const sweep_result& swept,
+                      std::uint64_t grid, bool include_timing = true,
+                      const extra_fields& extra = {});
+
+/// Per-replica unit records — what a sharded sweep emits: one record per
+/// owned (cell, replica) unit, {"unit", "units_total", "cell",
+/// "cells_total", "replica", "replicas", "grid"} then the replica's
+/// report_fields (its "seed" is the exp::replica_seed-derived seed).
+/// Requires units.size() == reports.size().
+void add_unit_records(json_writer& out, const std::vector<run_report>& reports,
+                      const std::vector<unit_ref>& units, usize units_total,
+                      usize cells_total, std::uint64_t grid,
+                      bool include_timing = true,
+                      const extra_fields& extra = {});
 
 }  // namespace amo::exp

@@ -40,6 +40,35 @@ std::vector<run_spec> shard_cells(const std::vector<run_spec>& all,
   return cells;
 }
 
+usize unit_count(const std::vector<run_spec>& cells) {
+  usize total = 0;
+  for (const run_spec& c : cells) total += resolved_replicas(c);
+  return total;
+}
+
+std::vector<unit_ref> shard_units(const std::vector<run_spec>& cells,
+                                  const shard_ref& s) {
+  std::vector<unit_ref> units;
+  if (!s.valid()) return units;
+  const usize total = unit_count(cells);
+  units.reserve(total / s.count + 1);
+  // Walk the cell-major unit space once, keeping (cell, replica) in step
+  // with the strided unit index — O(total) and allocation-free beyond the
+  // output, instead of a per-unit binary search over prefix sums.
+  usize cell = 0;
+  usize cell_first = 0;  // unit index of (cell, replica 0)
+  usize reps = cells.empty() ? 0 : resolved_replicas(cells[0]);
+  for (usize u = s.index; u < total; u += s.count) {
+    while (u >= cell_first + reps) {
+      cell_first += reps;
+      ++cell;
+      reps = resolved_replicas(cells[cell]);
+    }
+    units.push_back({u, cell, u - cell_first, reps});
+  }
+  return units;
+}
+
 namespace {
 
 /// FNV-1a over the bytes of everything that makes a spec's value identity.
@@ -82,6 +111,7 @@ std::uint64_t grid_fingerprint(const std::vector<run_spec>& cells) {
     f.value(s.rule);
     f.value(s.crash_budget);
     f.value(s.max_steps);
+    f.value(s.replicas);
     f.str(s.adversary.name);
     f.value(s.adversary.seed);
     f.value(s.crashes.what);

@@ -1,6 +1,24 @@
 #include "exp/spec.hpp"
 
+#include "util/prng.hpp"
+
 namespace amo::exp {
+
+std::uint64_t replica_seed(std::uint64_t base, usize replica) {
+  if (replica == 0) return base;
+  // splitmix64 over a state that folds the replica index in: distinct
+  // replicas decorrelate even for adjacent base seeds (the registry hands
+  // out seed, seed+1, ... across scenarios).
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(replica));
+  return splitmix64(state);
+}
+
+run_spec replica_spec(const run_spec& cell, usize replica) {
+  run_spec s = cell;
+  s.adversary.seed = replica_seed(cell.adversary.seed, replica);
+  s.replicas = 1;
+  return s;
+}
 
 const char* to_string(algo_family f) {
   switch (f) {

@@ -118,12 +118,37 @@ struct run_spec {
   usize max_steps = 0;     ///< scheduled driver: 0 = default_step_limit
                            ///< (model_explore: explorer state cap, 0 = default)
 
+  /// Deterministic replicas of this cell: the sweep layer runs the spec
+  /// `replicas` times (0 is treated as 1), replica r under the seed
+  /// replica_seed(adversary.seed, r), and folds the per-replica reports
+  /// into one cell_report (exp/stats.hpp). Replica 0 always runs under the
+  /// base seed, so `replicas = 1` reproduces the single-run behaviour
+  /// bit-for-bit.
+  usize replicas = 1;
+
   adversary_spec adversary;  ///< scheduled driver
   crash_spec crashes;        ///< os_threads driver
   bool record_trace = false; ///< scheduled driver: capture the decision trace
 
   friend bool operator==(const run_spec&, const run_spec&) = default;
 };
+
+/// The cell's replica count with the 0-means-1 default applied.
+[[nodiscard]] inline usize resolved_replicas(const run_spec& s) {
+  return s.replicas == 0 ? 1 : s.replicas;
+}
+
+/// The adversary seed replica `replica` of a cell runs under. Replica 0
+/// keeps the base seed unchanged (so single-replica cells reproduce the
+/// pre-replica engine exactly); replicas r >= 1 get splitmix64-derived
+/// seeds, a pure function of (base, r) — independent of the cell's position
+/// in any grid, so reordering or resharding a sweep never changes a
+/// replica's execution.
+[[nodiscard]] std::uint64_t replica_seed(std::uint64_t base, usize replica);
+
+/// The single-execution spec replica `replica` of `cell` runs: the cell's
+/// spec with the derived adversary seed and replicas = 1.
+[[nodiscard]] run_spec replica_spec(const run_spec& cell, usize replica);
 
 /// Everything a test, bench or the CLI needs to know about one finished
 /// execution. Fields that do not apply to a given spec keep their defaults

@@ -1,19 +1,52 @@
 #include "exp/sweep.hpp"
 
+#include <span>
+
 #include "exp/engine.hpp"
 #include "svc/worker_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace amo::exp {
 
+unit_run_result run_units(const std::vector<run_spec>& cells,
+                          const std::vector<unit_ref>& units,
+                          svc::worker_pool& pool) {
+  unit_run_result out;
+  out.reports.resize(units.size());
+  out.pool_size = pool.run_indexed(units.size(), [&](usize i) {
+    const unit_ref& u = units[i];
+    out.reports[i] = run(replica_spec(cells[u.cell], u.replica));
+  });
+  return out;
+}
+
 sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
   sweep_result out;
-  out.reports.resize(cells.size());
+  out.cells.reserve(cells.size());
+
+  // Flatten to (cell, replica) units so replicas steal across the pool
+  // exactly like cells do. The full unit list is cell-major, so reports in
+  // unit order are exactly the flattened [cells[i].first, +replicas) layout.
+  const std::vector<unit_ref> units = shard_units(cells, shard_ref{0, 1});
+  usize first = 0;
+  for (const run_spec& c : cells) {
+    cell_report cr;
+    cr.first = first;
+    cr.replicas = resolved_replicas(c);
+    first += cr.replicas;
+    out.cells.push_back(cr);
+  }
 
   stopwatch clock;
-  out.pool_size = pool.run_indexed(
-      cells.size(), [&](usize i) { out.reports[i] = run(cells[i]); });
+  unit_run_result ur = run_units(cells, units, pool);
+  out.reports = std::move(ur.reports);
+  out.pool_size = ur.pool_size;
   out.wall_seconds = clock.seconds();
+
+  for (cell_report& cr : out.cells) {
+    cr.stats = fold_replicas(
+        std::span<const run_report>(out.reports).subspan(cr.first, cr.replicas));
+  }
   return out;
 }
 

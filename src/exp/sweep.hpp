@@ -1,11 +1,15 @@
 // exp::sweep — run many independent experiment cells on the work-stealing
-// pool. Each cell is a self-contained run_spec (its adversary seed included),
-// so per-cell results are bit-identical regardless of pool size or execution
-// order; results come back in cell order. This replaces the hand-rolled
-// serial triple-loops the bench binaries used to carry.
+// pool. A cell is run_spec × R deterministic replicas (per-replica seeds
+// derived by exp::replica_seed), and the sweep's work queue is flattened to
+// (cell, replica) granularity: replicas steal across the pool exactly like
+// cells do, so one expensive high-replica cell cannot serialize a sweep.
+// Each unit is a self-contained pure function of its spec + replica index,
+// so per-replica results are bit-identical regardless of pool size or
+// execution order; results come back in cell-major (cell, replica) order
+// with per-cell distribution aggregates folded by exp::stats.
 //
 // Two entry points: the options form spins up a pool for this one sweep
-// (the original PR 2 behaviour), the svc::worker_pool form runs the cells
+// (the original PR 2 behaviour), the svc::worker_pool form runs the units
 // on a caller-owned persistent pool — the service path, where one pool
 // outlives thousands of small sweeps and thread startup is paid once
 // (bench_pool measures the difference). Both produce identical reports.
@@ -13,7 +17,8 @@
 
 #include <vector>
 
-#include "exp/spec.hpp"
+#include "exp/shard.hpp"
+#include "exp/stats.hpp"
 
 namespace amo::svc {
 class worker_pool;
@@ -26,22 +31,55 @@ struct sweep_options {
   usize pool_size = 0;
 };
 
-struct sweep_result {
-  std::vector<run_report> reports;  ///< reports[i] corresponds to cells[i]
-  double wall_seconds = 0.0;        ///< whole-sweep wall clock
-  usize pool_size = 0;              ///< workers actually used (1 when serial)
+/// One swept cell: the folded distribution view of its replicas. The
+/// per-replica run_reports live in sweep_result::reports at
+/// [first, first + replicas) — flattened storage, so single-replica sweeps
+/// cost exactly what they did before the replica refactor. (The cell's
+/// spec is not duplicated here: cells[i] corresponds to the caller's
+/// input cells[i], which it already holds.)
+struct cell_report {
+  usize first = 0;    ///< index of replica 0 in sweep_result::reports
+  usize replicas = 1; ///< resolved replica count
+  cell_stats stats;   ///< folded aggregates (exp/stats.hpp)
 };
 
-/// Runs every cell; blocks until all are done. A throwing cell (e.g. an
-/// unknown adversary name) does not stop the others: the remaining cells
-/// still run — at any pool size, including the serial path — and the first
-/// exception is rethrown once the sweep drains (that cell's report slot is
-/// left default-constructed).
+struct sweep_result {
+  /// Per-replica reports, cell-major: cell i's replicas occupy
+  /// [cells[i].first, cells[i].first + cells[i].replicas). For a grid of
+  /// single-replica cells this is exactly one report per cell, in cell
+  /// order — the pre-replica contract every bench still relies on.
+  std::vector<run_report> reports;
+  std::vector<cell_report> cells;  ///< cells[i] corresponds to input cells[i]
+  double wall_seconds = 0.0;       ///< whole-sweep wall clock
+  usize pool_size = 0;             ///< workers actually used (1 when serial)
+};
+
+/// Runs every (cell, replica) unit; blocks until all are done. A throwing
+/// unit (e.g. an unknown adversary name) does not stop the others: the
+/// remaining units still run — at any pool size, including the serial path
+/// — and the first exception is rethrown once the sweep drains (that
+/// unit's report slot is left default-constructed, and no cell aggregates
+/// are folded).
 sweep_result sweep(const std::vector<run_spec>& cells,
                    const sweep_options& opt = {});
 
 /// Same contract, on a caller-owned long-lived pool (no threads spawned
 /// here). Byte-identical reports to the options form at any pool size.
 sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool);
+
+struct unit_run_result {
+  std::vector<run_report> reports;  ///< reports[i] corresponds to units[i]
+  usize pool_size = 0;              ///< workers actually used
+};
+
+/// The unit-execution kernel: runs an explicit (cell, replica) unit list —
+/// the whole grid, or a shard slice — on the pool, reports in unit-list
+/// order. sweep() and svc::execute_job's sharded path both go through
+/// here, so whole-grid and sharded executions cannot drift apart (the
+/// byte-identity the merge layer depends on). Same error contract as
+/// sweep(): all units run, the first exception rethrows after the drain.
+unit_run_result run_units(const std::vector<run_spec>& cells,
+                          const std::vector<unit_ref>& units,
+                          svc::worker_pool& pool);
 
 }  // namespace amo::exp

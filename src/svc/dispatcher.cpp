@@ -84,15 +84,44 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
     std::vector<std::jthread> launchers;
     launchers.reserve(opt.shards);
     for (shard_run& run : out.shards) {
+      run.attempts = 1;
       launchers.emplace_back(run_subprocess, std::ref(run));
     }
   }  // join
 
+  // Hard-failed shards (launch failure or exit > 1) re-launch up to
+  // opt.retries times — only the failed slices, in parallel; the healthy
+  // shards' files are already on disk and the partition is deterministic,
+  // so a retried shard recomputes exactly the units it owed.
+  for (usize attempt = 0; attempt < opt.retries; ++attempt) {
+    std::vector<shard_run*> failed;
+    for (shard_run& run : out.shards) {
+      if (run.exit_code == -1 || run.exit_code > 1) failed.push_back(&run);
+    }
+    if (failed.empty()) break;
+    std::vector<std::jthread> launchers;
+    launchers.reserve(failed.size());
+    for (shard_run* run : failed) {
+      if (!opt.quiet) {
+        std::fprintf(stderr,
+                     "dispatch: retrying shard %s (exit %d, attempt %zu of "
+                     "%zu)\n",
+                     exp::to_string(run->shard).c_str(), run->exit_code,
+                     attempt + 2, opt.retries + 1);
+      }
+      run->output.clear();
+      run->exit_code = -1;
+      ++run->attempts;
+      launchers.emplace_back(run_subprocess, std::ref(*run));
+    }
+  }
+
   int worst = 0;
   for (const shard_run& run : out.shards) {
     if (!opt.quiet) {
-      std::fprintf(stderr, "dispatch: shard %s exit %d (%s)\n",
+      std::fprintf(stderr, "dispatch: shard %s exit %d after %zu attempt%s (%s)\n",
                    exp::to_string(run.shard).c_str(), run.exit_code,
+                   run.attempts, run.attempts == 1 ? "" : "s",
                    run.command.c_str());
     }
     worst = std::max(worst, run.exit_code == -1 ? 2 : run.exit_code);

@@ -37,6 +37,12 @@ struct dispatch_options {
   std::string out;         ///< merged output path; "" = caller keeps records
   bool keep_shards = false;///< leave the per-shard files behind
   bool quiet = false;      ///< suppress per-shard progress on stderr
+  /// Re-launch a hard-failed shard (exit > 1 or unlaunchable) up to this
+  /// many extra times before aborting the dispatch. The partition is
+  /// deterministic, so only the failed slice reruns — the point of
+  /// resumable multi-host sweeps. Exit 1 (a safety violation the child
+  /// *reported*) is a result, not an infrastructure failure: never retried.
+  usize retries = 0;
 };
 
 /// One launched shard subprocess.
@@ -45,7 +51,8 @@ struct shard_run {
   std::string file;     ///< the shard's --out file
   std::string command;  ///< the expanded command line
   int exit_code = -1;   ///< subprocess exit status (-1: could not launch)
-  std::string output;   ///< captured stdout+stderr
+  usize attempts = 0;   ///< launches, 1 + retries actually consumed
+  std::string output;   ///< captured stdout+stderr (last attempt)
 };
 
 struct dispatch_result {

@@ -35,11 +35,12 @@ std::string to_line(const job& j) {
     if (!out.empty()) out += ' ';
     out += name;
   }
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                " n=%zu m=%zu beta=%zu eps=%u seed=%llu seeds=%zu",
+                " n=%zu m=%zu beta=%zu eps=%u seed=%llu seeds=%zu replicas=%zu",
                 j.params.n, j.params.m, j.params.beta, j.params.eps_inv,
-                static_cast<unsigned long long>(j.params.seed), j.params.seeds);
+                static_cast<unsigned long long>(j.params.seed), j.params.seeds,
+                j.params.replicas);
   out += buf;
   if (j.scheduled_only) out += " scheduled-only";
   if (j.no_timing) out += " no-timing";
@@ -107,6 +108,9 @@ bool parse_job_line(std::string_view text, usize line_no, job& out,
     }
     if (key == "seeds") {
       return parse_count(key, value, j.params.seeds, line_no, error);
+    }
+    if (key == "replicas") {
+      return parse_count(key, value, j.params.replicas, line_no, error);
     }
     if (key == "shard") {
       if (!exp::parse_shard(value, j.shard)) {

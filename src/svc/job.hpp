@@ -10,7 +10,7 @@
 //
 //   <scenario> [<scenario> ...] [key=value ...] [flag ...]   [# comment]
 //
-//   keys:   n= m= beta= eps= seed= seeds= shard=i/k out=FILE
+//   keys:   n= m= beta= eps= seed= seeds= replicas= shard=i/k out=FILE
 //   flags:  scheduled-only  no-timing
 //
 // Blank lines and lines starting with '#' are skipped; a '#' token inside

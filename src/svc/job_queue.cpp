@@ -6,7 +6,7 @@ bool job_queue::push(job j) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) return false;
-    jobs_.push_back(std::move(j));
+    jobs_.push_back({std::move(j), std::chrono::steady_clock::now()});
     ++pushed_;
   }
   cv_.notify_one();
@@ -14,10 +14,18 @@ bool job_queue::push(job j) {
 }
 
 bool job_queue::pop(job& out) {
+  double ignored = 0.0;
+  return pop(out, ignored);
+}
+
+bool job_queue::pop(job& out, double& queued_seconds) {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [this] { return closed_ || !jobs_.empty(); });
   if (jobs_.empty()) return false;
-  out = std::move(jobs_.front());
+  out = std::move(jobs_.front().j);
+  queued_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - jobs_.front().enqueued)
+                       .count();
   jobs_.pop_front();
   return true;
 }

@@ -6,6 +6,7 @@
 // once the queue is both closed and empty.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -16,14 +17,19 @@ namespace amo::svc {
 
 class job_queue {
  public:
-  /// Enqueues a job. Pushing to a closed queue is a programming error the
-  /// queue tolerates by dropping the job (the reader thread may lose the
-  /// race with a shutdown); returns whether the job was accepted.
+  /// Enqueues a job, stamping its arrival time. Pushing to a closed queue
+  /// is a programming error the queue tolerates by dropping the job (the
+  /// reader thread may lose the race with a shutdown); returns whether the
+  /// job was accepted.
   bool push(job j);
 
   /// Blocks until a job is available or the queue is closed and drained.
-  /// True with `out` filled, or false when no job will ever come.
+  /// True with `out` filled, or false when no job will ever come. The
+  /// two-argument form additionally reports how long the job sat queued
+  /// (push to pop, seconds) — the serve loop's queue-latency observability
+  /// field.
   bool pop(job& out);
+  bool pop(job& out, double& queued_seconds);
 
   /// No more pushes; wakes every blocked pop().
   void close();
@@ -32,9 +38,14 @@ class job_queue {
   [[nodiscard]] usize pushed() const;  ///< jobs accepted so far
 
  private:
+  struct entry {
+    job j;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<job> jobs_;
+  std::deque<entry> jobs_;
   bool closed_ = false;
   usize pushed_ = 0;
 };

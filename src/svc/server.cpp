@@ -12,6 +12,7 @@
 #include "svc/job_queue.hpp"
 #include "svc/worker_pool.hpp"
 #include "util/fileio.hpp"
+#include "util/stopwatch.hpp"
 
 namespace amo::svc {
 
@@ -49,10 +50,11 @@ void finish_job(const job_result& r, const server_options& opt,
   }
 
   if (!opt.quiet) {
-    std::fprintf(log, "%s: %zu/%zu cells on %zu workers in %.2fs, "
-                      "at-most-once: %s%s%s\n",
-                 job_tag(r.j).c_str(), r.reports.size(), r.cells_total,
-                 r.pool_used, r.wall_seconds, r.safe ? "yes" : "VIOLATED",
+    std::fprintf(log, "%s: %zu/%zu units on %zu workers in %.2fs "
+                      "(queued %.3fs), at-most-once: %s%s%s\n",
+                 job_tag(r.j).c_str(), r.runs().size(), r.units_total,
+                 r.pool_used, r.wall_seconds, r.queue_seconds,
+                 r.safe ? "yes" : "VIOLATED",
                  r.j.out.empty() ? "" : " -> ",
                  r.j.out.empty() ? "" : r.j.out.c_str());
   }
@@ -73,8 +75,22 @@ bool claim_out_path(const job& j, std::unordered_set<std::string>& used,
 
 std::string job_result::render_json() const {
   exp::json_writer json;
-  exp::add_sweep_records(json, reports, indices, cells_total, grid,
-                         /*include_timing=*/!j.no_timing);
+  // Per-job observability (wall + queue latency): timing fields by the
+  // shared schema's rules, so they ride on timing runs only — no-timing
+  // output stays byte-reproducible — and exp::report_diff ignores them.
+  exp::extra_fields extra;
+  if (!j.no_timing) {
+    extra.emplace_back("job_wall_seconds", exp::json_writer::num(wall_seconds));
+    extra.emplace_back("job_queue_seconds",
+                       exp::json_writer::num(queue_seconds));
+  }
+  if (sharded) {
+    exp::add_unit_records(json, unit_reports, units, units_total, cells_total,
+                          grid, /*include_timing=*/!j.no_timing, extra);
+  } else {
+    exp::add_cell_records(json, swept, grid, /*include_timing=*/!j.no_timing,
+                          extra);
+  }
   return json.dump();
 }
 
@@ -102,23 +118,38 @@ job_result execute_job(const job& j, worker_pool& pool) {
     return r;
   }
 
-  const exp::shard_ref shard = j.have_shard ? j.shard : exp::shard_ref{0, 1};
-  r.indices = exp::shard_indices(all.size(), shard);
   r.cells_total = all.size();
+  r.units_total = exp::unit_count(all);
   r.grid = exp::grid_fingerprint(all);
-  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
+  // shard = 0/1 owns the whole grid, so it takes the aggregate path and
+  // stays byte-identical to the unsharded job (the pre-replica behaviour).
+  r.sharded = j.have_shard && j.shard.count > 1;
 
   try {
-    exp::sweep_result sw = exp::sweep(cells, pool);
-    r.reports = std::move(sw.reports);
-    r.pool_used = sw.pool_size;
-    r.wall_seconds = sw.wall_seconds;
+    if (r.sharded) {
+      // A strict slice of the replica-expanded unit space: run exactly the
+      // owned (cell, replica) units through the sweep layer's shared unit
+      // kernel — replicas steal across workers like cells do — and leave
+      // the re-fold to merge.
+      r.units = exp::shard_units(all, j.shard);
+      stopwatch clock;
+      exp::unit_run_result ur = exp::run_units(all, r.units, pool);
+      r.unit_reports = std::move(ur.reports);
+      r.pool_used = ur.pool_size;
+      r.wall_seconds = clock.seconds();
+    } else {
+      r.swept = exp::sweep(all, pool);
+      r.pool_used = r.swept.pool_size;
+      r.wall_seconds = r.swept.wall_seconds;
+    }
   } catch (const std::exception& e) {
     r.error = e.what();
-    r.reports.clear();
+    r.swept = {};
+    r.unit_reports.clear();
+    r.units.clear();
     return r;
   }
-  for (const exp::run_report& rep : r.reports) r.safe = r.safe && rep.at_most_once;
+  for (const exp::run_report& rep : r.runs()) r.safe = r.safe && rep.at_most_once;
   return r;
 }
 
@@ -172,9 +203,11 @@ serve_summary serve(std::istream& in, worker_pool& pool,
 
   std::unordered_set<std::string> used_out;
   job j;
-  while (queue.pop(j)) {
+  double queued_seconds = 0.0;
+  while (queue.pop(j, queued_seconds)) {
     job_result r;
     if (claim_out_path(j, used_out, r)) r = execute_job(j, pool);
+    r.queue_seconds = queued_seconds;
     // finish_job touches sum.jobs/failed/... — reader only touches
     // sum.rejected, and only under reject_mu; take it here too so the
     // final summary read (after join) sees a consistent struct.

@@ -2,17 +2,21 @@
 // into a resident service.
 //
 // execute_job() is the one code path from a job to its JSON: expand the
-// named scenarios into cells, apply the scheduled-only filter and the
-// job's shard slice, run the cells on the caller's persistent pool, and
-// render the sweep records. The amo_lab CLI routes `run`/`sweep` through
-// this same function, so a batch/serve job's output is byte-identical to
-// the equivalent standalone invocation by construction, not by parallel
-// maintenance of two code paths (asserted in tests/test_svc_batch.cpp and
-// the CI batch step).
+// named scenarios into cells, apply the scheduled-only filter, then run
+// the replica-expanded grid on the caller's persistent pool — the whole
+// grid (aggregate cell records) for an unsharded job, or exactly the
+// owned (cell, replica) units (per-unit records, later recombined by
+// exp::merge_shards) for a sharded one. The amo_lab CLI routes
+// `run`/`sweep` through this same function, so a batch/serve job's output
+// is byte-identical to the equivalent standalone invocation by
+// construction, not by parallel maintenance of two code paths (asserted
+// in tests/test_svc_batch.cpp and the CI batch step).
 //
 // run_jobs() drains a parsed batch; serve() streams jobs from any istream
 // (stdin, a FIFO) through a job_queue — a reader thread parses while the
-// caller's thread executes, so a slow job never blocks line intake.
+// caller's thread executes, so a slow job never blocks line intake. Timing
+// runs additionally carry per-job observability fields (job_wall_seconds,
+// job_queue_seconds) that exp::report_diff ignores like any wall clock.
 #pragma once
 
 #include <cstdio>
@@ -20,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/shard.hpp"
 #include "exp/spec.hpp"
+#include "exp/sweep.hpp"
 #include "svc/job.hpp"
 
 namespace amo::svc {
@@ -29,19 +35,36 @@ class worker_pool;
 
 /// Everything one finished job produced.
 struct job_result {
-  job j;                                ///< the job as executed
-  std::vector<exp::run_report> reports; ///< slice results, cell order
-  std::vector<usize> indices;           ///< global cell index per report
-  usize cells_total = 0;                ///< full grid size (before shard)
-  std::uint64_t grid = 0;               ///< exp::grid_fingerprint of the grid
-  usize pool_used = 0;                  ///< workers the sweep was dealt across
-  double wall_seconds = 0.0;
-  bool safe = true;                     ///< every cell at_most_once
-  std::string error;                    ///< non-empty: the job did not run
+  job j;                     ///< the job as executed
+  bool sharded = false;      ///< the job owned a strict unit slice
+
+  /// Unsharded path: the full sweep — flattened per-replica reports plus
+  /// per-cell aggregates (exp::sweep_result), rendered as aggregate cell
+  /// records.
+  exp::sweep_result swept;
+
+  /// Sharded path: the owned (cell, replica) units and their reports, in
+  /// unit order, rendered as per-unit records.
+  std::vector<exp::unit_ref> units;
+  std::vector<exp::run_report> unit_reports;
+
+  usize cells_total = 0;     ///< full grid size (before shard)
+  usize units_total = 0;     ///< replica-expanded grid size (before shard)
+  std::uint64_t grid = 0;    ///< exp::grid_fingerprint of the grid
+  usize pool_used = 0;       ///< workers the runs were dealt across
+  double wall_seconds = 0.0; ///< executing the job
+  double queue_seconds = 0.0;///< serve: parse-to-execute latency (0 in batch)
+  bool safe = true;          ///< every executed replica at_most_once
+  std::string error;         ///< non-empty: the job did not run
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 
-  /// The sweep-record JSON document for this job — the same bytes
+  /// Every run_report the job executed, in unit order (either path).
+  [[nodiscard]] const std::vector<exp::run_report>& runs() const {
+    return sharded ? unit_reports : swept.reports;
+  }
+
+  /// The record JSON document for this job — the same bytes
   /// `amo_lab run <scenarios> ... --out=F` would have written.
   [[nodiscard]] std::string render_json() const;
 };

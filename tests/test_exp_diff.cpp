@@ -106,8 +106,58 @@ TEST(Diff, FieldClassificationCoversTheSchemas) {
   EXPECT_EQ(exp::classify_field("work"), field_class::higher_worse);
   EXPECT_EQ(exp::classify_field("do_actions"), field_class::higher_worse);
   EXPECT_EQ(exp::classify_field("crashes"), field_class::informational);
+  // Replica layer: sample size is identity, unit position is merge's
+  // concern, aggregate suffixes inherit the base metric's direction,
+  // spread never gates, and anything wall-clock/throughput-shaped is a
+  // measurement.
+  EXPECT_EQ(exp::classify_field("replicas"), field_class::identity);
+  EXPECT_EQ(exp::classify_field("replica"), field_class::identity);
+  EXPECT_EQ(exp::classify_field("unit"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("units_total"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("effectiveness_min"), field_class::lower_worse);
+  EXPECT_EQ(exp::classify_field("effectiveness_p50"), field_class::lower_worse);
+  EXPECT_EQ(exp::classify_field("work_p95"), field_class::higher_worse);
+  EXPECT_EQ(exp::classify_field("steps_mean"), field_class::higher_worse);
+  EXPECT_EQ(exp::classify_field("work_stddev"), field_class::informational);
+  EXPECT_EQ(exp::classify_field("job_wall_seconds"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("job_queue_seconds"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("spawn_wall_seconds"), field_class::ignored);
+  EXPECT_EQ(exp::classify_field("units_per_second"), field_class::ignored);
   // Unknown metrics report instead of gating.
   EXPECT_EQ(exp::classify_field("brand_new_metric"), field_class::informational);
+}
+
+TEST(Diff, PreReplicaArtifactsMatchReplicasOneRecords) {
+  // A baseline saved before the replica layer existed carries no
+  // "replicas" field; the byte-equivalent replicas=1 sweep of today must
+  // still match it cell for cell (absent means 1 in the identity key) —
+  // while a different sample size stays a different experiment.
+  const char* old_doc =
+      "[\n  {\"scenario\": \"kk/random\", \"seed\": 1, \"n\": 100, "
+      "\"effectiveness\": 97, \"work\": 1000, \"at_most_once\": true}\n]\n";
+  const char* new_doc =
+      "[\n  {\"replicas\": 1, \"scenario\": \"kk/random\", \"seed\": 1, "
+      "\"n\": 100, \"effectiveness\": 97, \"work\": 1000, "
+      "\"at_most_once\": true}\n]\n";
+  const char* resampled =
+      "[\n  {\"replicas\": 8, \"scenario\": \"kk/random\", \"seed\": 1, "
+      "\"n\": 100, \"effectiveness\": 97, \"work\": 1000, "
+      "\"at_most_once\": true}\n]\n";
+  exp::parse_result old_parsed = exp::parse_records(old_doc);
+  exp::parse_result new_parsed = exp::parse_records(new_doc);
+  exp::parse_result re_parsed = exp::parse_records(resampled);
+  ASSERT_TRUE(old_parsed.ok() && new_parsed.ok() && re_parsed.ok());
+
+  const exp::diff_report matched =
+      exp::report_diff(old_parsed.records, new_parsed.records);
+  EXPECT_EQ(matched.matched, 1u);
+  EXPECT_TRUE(matched.only_baseline.empty());
+  EXPECT_EQ(matched.severity, diff_severity::clean);
+
+  const exp::diff_report disjoint =
+      exp::report_diff(old_parsed.records, re_parsed.records);
+  EXPECT_EQ(disjoint.matched, 0u);  // R=8 is a different experiment
+  EXPECT_EQ(disjoint.only_baseline.size(), 1u);
 }
 
 // --- report_diff ---

@@ -1,0 +1,126 @@
+// json_writer::num(double) and the record parser's number handling must be
+// locale-independent and round-trip-exact: a record written on a host with
+// LC_NUMERIC=de_DE must parse to bit-equal doubles anywhere — otherwise
+// the merge re-fold could never promise byte-identical aggregates — and
+// parse(num(x)) == x exactly for every finite double (std::to_chars
+// shortest form / std::from_chars, not snprintf %g / strtod).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+#include "exp/report.hpp"
+
+namespace amo {
+namespace {
+
+/// Parses one number through the record layer.
+double parse_number(const std::string& token, bool& ok) {
+  const exp::parse_result parsed =
+      exp::parse_records("[\n  {\"x\": " + token + "}\n]\n");
+  ok = parsed.ok() && parsed.records.size() == 1;
+  if (!ok) return 0.0;
+  const exp::record_field* f = parsed.records[0].find("x");
+  ok = f != nullptr && f->type == exp::record_field::kind::number;
+  return ok ? f->number : 0.0;
+}
+
+std::vector<double> awkward_doubles() {
+  return {0.0,
+          0.5,
+          -0.5,
+          0.1,
+          1.0 / 3.0,
+          0.8235294117647058,   // a worst_pair_ratio-shaped value
+          1e-9,
+          6.62607015e-34,
+          1e20,
+          9007199254740993.0,   // > 2^53: not exactly representable
+          123456789.123456789,
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::min()};
+}
+
+void expect_roundtrip_exact() {
+  for (const double v : awkward_doubles()) {
+    const std::string token = exp::json_writer::num(v);
+    EXPECT_EQ(token.find(','), std::string::npos)
+        << "locale-dependent rendering: " << token;
+    bool ok = false;
+    const double back = parse_number(token, ok);
+    ASSERT_TRUE(ok) << token;
+    EXPECT_EQ(back, v) << token;  // bit-exact, not just approximate
+
+    // And the rendered token re-renders identically after a parse — the
+    // raw-token pass-through merge/diff depend on.
+    const exp::parse_result parsed =
+        exp::parse_records("[\n  {\"x\": " + token + "}\n]\n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(exp::render_records(parsed.records),
+              "[\n  {\"x\": " + token + "}\n]\n");
+  }
+}
+
+TEST(JsonNum, RoundTripsExactlyInTheCLocale) { expect_roundtrip_exact(); }
+
+TEST(JsonNum, RoundTripsExactlyUnderACommaDecimalLocale) {
+  // The regression this guards: snprintf %g / strtod obey LC_NUMERIC, so a
+  // comma-decimal locale used to emit "0,5" (unparseable JSON) and parse
+  // "0.5" as 0. Skip (with a note) when the container ships no such
+  // locale; the C-locale test above still pins the exactness half.
+  const char* const candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                    "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+  const char* active = nullptr;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      active = name;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Prove the locale actually is comma-decimal (otherwise the test proves
+  // nothing); then run the identical round-trip battery under it.
+  char probe[32];
+  std::snprintf(probe, sizeof probe, "%.1f", 0.5);
+  if (std::string(probe) != "0,5") {
+    std::setlocale(LC_ALL, "C");
+    GTEST_SKIP() << active << " installed but not comma-decimal";
+  }
+  expect_roundtrip_exact();
+  bool ok = false;
+  EXPECT_EQ(parse_number("0.5", ok), 0.5);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(exp::json_writer::num(0.5), "0.5");
+  std::setlocale(LC_ALL, "C");
+}
+
+TEST(JsonNum, OutOfRangeMagnitudesClampLikeStrtod) {
+  // 1e999 is valid JSON that prior releases (strtod-based) accepted as
+  // inf; the from_chars parser must keep accepting such foreign artifacts
+  // with the same clamping rather than rejecting the whole document.
+  bool ok = false;
+  EXPECT_TRUE(std::isinf(parse_number("1e999", ok)));
+  EXPECT_TRUE(ok);
+  double v = parse_number("-1e999", ok);
+  EXPECT_TRUE(ok && std::isinf(v) && v < 0);
+  EXPECT_EQ(parse_number("1e-999", ok), 0.0);
+  EXPECT_TRUE(ok);
+}
+
+TEST(JsonNum, IntegersStayIntegerShaped) {
+  // Counters rendered through the double overload must not grow exponents
+  // or fractions for the magnitudes the benches emit.
+  EXPECT_EQ(exp::json_writer::num(3744.0), "3744");
+  EXPECT_EQ(exp::json_writer::num(0.0), "0");
+  EXPECT_EQ(exp::json_writer::num(95736.0), "95736");
+}
+
+}  // namespace
+}  // namespace amo

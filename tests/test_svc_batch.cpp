@@ -5,8 +5,9 @@
 // severity-keyed exit codes hold.
 //
 // The standalone oracle below is built from exp:: primitives only
-// (scenario expansion -> shard -> serial sweep -> add_sweep_records), NOT
-// from svc::execute_job — so it pins what `amo_lab run` emits rather than
+// (scenario expansion -> serial sweep -> add_cell_records, or per-unit
+// exp::run -> add_unit_records for sharded jobs), NOT from
+// svc::execute_job — so it pins what `amo_lab run` emits rather than
 // whatever the service happens to do.
 #include <gtest/gtest.h>
 
@@ -15,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "exp/engine.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/shard.hpp"
@@ -39,21 +41,25 @@ std::string slurp(const std::string& path) {
 }
 
 /// The mixed-scenario batch the acceptance criterion names. Jobs carry
-/// no-timing so identical executions dump identical bytes.
+/// no-timing so identical executions dump identical bytes; replica counts
+/// are mixed so both the aggregate and the per-unit record paths are
+/// pinned.
 std::vector<svc::job> mixed_jobs(const std::string& tag) {
   svc::job a;
   a.scenarios = {"kk/round_robin", "kk/random"};
   a.params.n = 128;
   a.params.m = 3;
   a.params.seeds = 2;
+  a.params.replicas = 3;  // aggregate records fold 3 replicas per cell
   a.no_timing = true;
   a.out = temp_path(tag + "_a.json");
 
-  svc::job b;  // sharded job: slice 1 of 2 of its own grid
+  svc::job b;  // sharded job: unit slice 1 of 2 of its own replica grid
   b.scenarios = {"iterative/round_robin", "baseline/tas"};
   b.params.n = 96;
   b.params.m = 2;
   b.params.seeds = 1;
+  b.params.replicas = 2;  // shards split replicas of one cell
   b.no_timing = true;
   b.have_shard = true;
   b.shard = {1, 2};
@@ -72,7 +78,9 @@ std::vector<svc::job> mixed_jobs(const std::string& tag) {
 }
 
 /// What `amo_lab run <scenarios> [--shard] --no-timing --out=F` writes,
-/// rebuilt from first principles.
+/// rebuilt from first principles: aggregate cell records for a whole-grid
+/// job, per-unit records for a sharded one, each unit executed by a
+/// direct exp::run of its replica spec.
 std::string standalone_json(const svc::job& j) {
   std::vector<exp::run_spec> all;
   for (const std::string& name : j.scenarios) {
@@ -84,15 +92,24 @@ std::string standalone_json(const svc::job& j) {
       return s.driver != exp::driver_kind::scheduled;
     });
   }
-  const exp::shard_ref shard = j.have_shard ? j.shard : exp::shard_ref{0, 1};
-  const std::vector<usize> indices = exp::shard_indices(all.size(), shard);
-  const std::vector<exp::run_spec> cells = exp::shard_cells(all, shard);
-  exp::sweep_options serial;
-  serial.pool_size = 1;
-  const exp::sweep_result swept = exp::sweep(cells, serial);
   exp::json_writer json;
-  exp::add_sweep_records(json, swept.reports, indices, all.size(),
-                         exp::grid_fingerprint(all), !j.no_timing);
+  if (j.have_shard && j.shard.count > 1) {
+    const std::vector<exp::unit_ref> units = exp::shard_units(all, j.shard);
+    std::vector<exp::run_report> reports;
+    reports.reserve(units.size());
+    for (const exp::unit_ref& u : units) {
+      reports.push_back(exp::run(exp::replica_spec(all[u.cell], u.replica)));
+    }
+    exp::add_unit_records(json, reports, units, exp::unit_count(all),
+                          all.size(), exp::grid_fingerprint(all),
+                          !j.no_timing);
+  } else {
+    exp::sweep_options serial;
+    serial.pool_size = 1;
+    const exp::sweep_result swept = exp::sweep(all, serial);
+    exp::add_cell_records(json, swept, exp::grid_fingerprint(all),
+                          !j.no_timing);
+  }
   return json.dump();
 }
 

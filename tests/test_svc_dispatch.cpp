@@ -60,6 +60,76 @@ TEST(SvcDispatch, HardShardFailureIsClassified) {
   EXPECT_NE(r.error.find("exit 7"), std::string::npos) << r.error;
 }
 
+TEST(SvcDispatch, RetriesRelaunchOnlyTheFailedShard) {
+  // Shard commands fail on their first attempt (a marker file flips the
+  // second attempt to success), so --retries=1 must re-launch each failed
+  // shard exactly once and the dispatch must then proceed past the launch
+  // stage. Each attempt writes a one-cell record file, so the retried
+  // dispatch merges cleanly end to end.
+  const std::string dir = ::testing::TempDir();
+  const std::string marker = dir + "/retry_marker";
+  std::remove((marker + "_0").c_str());
+  std::remove((marker + "_1").c_str());
+
+  svc::dispatch_options opt;
+  opt.shards = 2;
+  opt.dir = dir;
+  opt.quiet = true;
+  opt.retries = 1;
+  opt.command =
+      "sh -c 's={shard}; i=${s%%/*}; f=" + marker + "_$i; "
+      "if [ ! -e \"$f\" ]; then : > \"$f\"; exit 7; fi; "
+      "printf '\\''[\\n  {\"cell\": %s, \"cells_total\": 2, "
+      "\"grid\": \"g\", \"effectiveness\": 1}\\n]\\n'\\'' \"$i\" > {out}'";
+
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.shards.size(), 2u);
+  for (const svc::shard_run& run : r.shards) {
+    EXPECT_EQ(run.exit_code, 0) << run.command;
+    EXPECT_EQ(run.attempts, 2u) << run.command;
+  }
+  ASSERT_EQ(r.merged.size(), 2u);
+  std::remove((marker + "_0").c_str());
+  std::remove((marker + "_1").c_str());
+}
+
+TEST(SvcDispatch, RetriesExhaustOnAPersistentFailure) {
+  svc::dispatch_options opt;
+  opt.shards = 2;
+  opt.command = "exit 7";
+  opt.quiet = true;
+  opt.retries = 2;
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 2);
+  for (const svc::shard_run& run : r.shards) {
+    EXPECT_EQ(run.attempts, 3u);  // 1 launch + 2 retries
+    EXPECT_EQ(run.exit_code, 7);
+  }
+}
+
+TEST(SvcDispatch, SafetyViolationExitIsNeverRetried) {
+  // Exit 1 is a *reported result* (an at-most-once violation), not an
+  // infrastructure failure: retrying would rerun a deterministic violation
+  // and mask the report. The shard file must still merge.
+  const std::string dir = ::testing::TempDir();
+  svc::dispatch_options opt;
+  opt.shards = 1;
+  opt.dir = dir;
+  opt.quiet = true;
+  opt.retries = 5;
+  opt.command =
+      "sh -c 'printf '\\''[\\n  {\"cell\": 0, \"cells_total\": 1, "
+      "\"grid\": \"g\", \"at_most_once\": false}\\n]\\n'\\'' > {out}; exit 1'";
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.shards.size(), 1u);
+  EXPECT_EQ(r.shards[0].attempts, 1u);
+}
+
 TEST(SvcDispatch, MissingShardOutputIsAnIoError) {
   svc::dispatch_options opt;
   opt.shards = 2;
@@ -95,10 +165,12 @@ TEST(SvcDispatch, EndToEndMatchesTheOneShotSweepByteForByte) {
   opt.dir = dir;
   opt.out = merged_path;
   opt.quiet = true;
+  // --replicas=3: the shards split at (cell, replica) granularity and the
+  // merge re-folds the units into the one-shot aggregate records.
   const std::string args =
       "sweep kk/round_robin kk/random baseline/tas iterative/round_robin"
-      " --n=96 --m=3 --beta=0 --eps=2 --seed=1 --seeds=2 --pool=2"
-      " --scheduled-only --no-timing --quiet";
+      " --n=96 --m=3 --beta=0 --eps=2 --seed=1 --seeds=2 --replicas=3"
+      " --pool=2 --scheduled-only --no-timing --quiet";
   const svc::dispatch_result r = svc::dispatch(args, opt);
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.exit_code, 0);
@@ -110,6 +182,7 @@ TEST(SvcDispatch, EndToEndMatchesTheOneShotSweepByteForByte) {
   j.params.n = 96;
   j.params.m = 3;
   j.params.seeds = 2;
+  j.params.replicas = 3;
   j.scheduled_only = true;
   j.no_timing = true;
   svc::worker_pool pool(2);

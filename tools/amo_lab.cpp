@@ -51,9 +51,14 @@
 //
 // Options (run/sweep/serve/submit/batch/dispatch):
 //   --n=N --m=M --beta=B --eps=K     scenario parameters (sizes, 1/eps)
-//   --seed=S --seeds=R               first adversary seed / replicas
+//   --seed=S --seeds=R               first adversary seed / seed variants
+//   --replicas=R                     deterministic replicas per cell: every
+//                                    cell runs R times under splitmix-derived
+//                                    seeds and reports distribution aggregates
+//                                    (min/mean/max/stddev/p50/p95)
 //   --pool=P                         sweep workers (0 = hardware, 1 = serial)
-//   --shard=i/k                      run shard i of k (sweep; 0 <= i < k)
+//   --shard=i/k                      run shard i of k over the replica-
+//                                    expanded unit space (0 <= i < k)
 //   --scheduled-only                 drop os_threads cells (hardware-timed,
 //                                    so not byte-reproducible across runs)
 //   --out=FILE                       write the unified JSON records to FILE
@@ -70,6 +75,9 @@
 //   --to=FILE                        submit: append the job line to FILE
 // Options (dispatch):
 //   --shards=K                       number of shard subprocesses
+//   --retries=R                      re-launch a hard-failed shard up to R
+//                                    times (the partition is deterministic,
+//                                    so only the failed slice reruns)
 //   --command=TEMPLATE               launch template; placeholders {self}
 //                                    {args} {shard} {out} (default
 //                                    "{self} {args} --shard={shard} --out={out}")
@@ -139,6 +147,7 @@ struct cli_options {
   std::string jobs;     ///< serve: input FIFO/file
   std::string to;       ///< submit: target FIFO/file
   usize shards = 0;     ///< dispatch: k
+  usize retries = 0;    ///< dispatch: re-launches per hard-failed shard
   std::string command;  ///< dispatch: launch template override
   std::string dir = "."; ///< dispatch: shard-file directory
   bool keep_shards = false;
@@ -171,6 +180,10 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       opt.params.seed = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--seeds", &v)) {
       opt.params.seeds = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--replicas", &v)) {
+      opt.params.replicas = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--retries", &v)) {
+      opt.retries = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--pool", &v)) {
       opt.pool = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--shard", &v)) {
@@ -247,10 +260,11 @@ void usage(std::FILE* to) {
       "                                 the launch, e.g. over ssh)\n"
       "  help                           this text\n"
       "\n"
-      "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R --pool=P\n"
-      "         --shard=i/k --scheduled-only --out=FILE --no-timing --check\n"
-      "         --quiet --tol=T --jobs=FILE --once --to=FILE --shards=K\n"
-      "         --command=TEMPLATE --dir=D --keep-shards\n",
+      "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R\n"
+      "         --replicas=R --pool=P --shard=i/k --scheduled-only\n"
+      "         --out=FILE --no-timing --check --quiet --tol=T --jobs=FILE\n"
+      "         --once --to=FILE --shards=K --retries=R --command=TEMPLATE\n"
+      "         --dir=D --keep-shards\n",
       to);
 }
 
@@ -303,27 +317,28 @@ int run_job(const svc::job& j, const cli_options& opt) {
     std::fprintf(stderr, "%s\n", result.error.c_str());
     return 2;
   }
-  if (j.have_shard) {
-    std::printf("shard %s: %zu of %zu cells\n", exp::to_string(j.shard).c_str(),
-                result.reports.size(), result.cells_total);
+  if (result.sharded) {
+    std::printf("shard %s: %zu of %zu units (%zu cells)\n",
+                exp::to_string(j.shard).c_str(), result.runs().size(),
+                result.units_total, result.cells_total);
   }
 
   bool ok = result.safe;
-  if (!opt.quiet) print_reports(result.reports);
-  std::printf("%zu cells on %zu workers in %.2fs; at-most-once: %s\n",
-              result.reports.size(), result.pool_used, result.wall_seconds,
-              result.safe ? "yes" : "VIOLATED");
+  if (!opt.quiet) print_reports(result.runs());
+  std::printf("%zu units (%zu cells) on %zu workers in %.2fs; "
+              "at-most-once: %s\n",
+              result.runs().size(), result.cells_total, result.pool_used,
+              result.wall_seconds, result.safe ? "yes" : "VIOLATED");
 
-  if (opt.check && !result.reports.empty()) {
+  if (opt.check && !result.runs().empty()) {
     svc::worker_pool serial(1);
     const svc::job_result ref = svc::execute_job(j, serial);
-    bool identical = ref.ok() &&
-                     ref.reports.size() == result.reports.size();
-    for (usize i = 0; identical && i < ref.reports.size(); ++i) {
+    bool identical = ref.ok() && ref.runs().size() == result.runs().size();
+    for (usize i = 0; identical && i < ref.runs().size(); ++i) {
       // os_threads cells are inherently non-reproducible; the determinism
       // guarantee covers scheduled cells.
-      if (result.reports[i].driver != exp::driver_kind::scheduled) continue;
-      identical = exp::equivalent(ref.reports[i], result.reports[i]);
+      if (result.runs()[i].driver != exp::driver_kind::scheduled) continue;
+      identical = exp::equivalent(ref.runs()[i], result.runs()[i]);
     }
     std::printf("determinism check: pooled vs serial %s; speedup %.2fx\n",
                 identical ? "bit-identical" : "MISMATCH",
@@ -338,7 +353,9 @@ int run_job(const svc::job& j, const cli_options& opt) {
       std::fprintf(stderr, "failed to write %s\n", j.out.c_str());
       return 2;
     }
-    std::printf("[%zu records -> %s]\n", result.reports.size(), j.out.c_str());
+    std::printf("[%zu records -> %s]\n",
+                result.sharded ? result.runs().size() : result.swept.cells.size(),
+                j.out.c_str());
   }
   return ok ? 0 : 1;
 }
@@ -549,13 +566,13 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
   // distributed spelling of `sweep X`.
   std::string args = "sweep";
   for (const std::string& name : opt.names) args += " " + name;
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
                 " --n=%zu --m=%zu --beta=%zu --eps=%u --seed=%llu --seeds=%zu"
-                " --pool=%zu",
+                " --replicas=%zu --pool=%zu",
                 opt.params.n, opt.params.m, opt.params.beta, opt.params.eps_inv,
                 static_cast<unsigned long long>(opt.params.seed),
-                opt.params.seeds, opt.pool);
+                opt.params.seeds, opt.params.replicas, opt.pool);
   args += buf;
   if (opt.scheduled_only) args += " --scheduled-only";
   if (opt.no_timing) args += " --no-timing";
@@ -563,6 +580,7 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
 
   svc::dispatch_options dopt;
   dopt.shards = opt.shards;
+  dopt.retries = opt.retries;
   dopt.self = argv0;
   if (!opt.command.empty()) dopt.command = opt.command;
   dopt.dir = opt.dir;
