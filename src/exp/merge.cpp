@@ -397,6 +397,70 @@ merge_result merge_unit_records(const std::vector<std::vector<record>>& shards) 
 
 }  // namespace
 
+bool verify_shard_records(const std::vector<record>& records,
+                          const shard_ref& s, std::string& error) {
+  if (!s.valid()) {
+    error = "invalid shard reference " + std::to_string(s.index) + "/" +
+            std::to_string(s.count);
+    return false;
+  }
+  if (records.empty()) return true;  // a shard can legitimately own nothing
+
+  const bool unit_schema = records[0].find("unit") != nullptr;
+  const char* what = unit_schema ? "unit" : "cell";
+  const char* total_key = unit_schema ? "units_total" : "cells_total";
+  const std::string tag = "shard " + to_string(s);
+
+  usize total = 0;
+  std::string grid;
+  usize expect = s.index;
+  for (usize i = 0; i < records.size(); ++i) {
+    const record& rec = records[i];
+    usize idx = 0;
+    usize this_total = 0;
+    if (!read_index(rec, what, idx) ||
+        !read_index(rec, total_key, this_total)) {
+      error = tag + ": record " + std::to_string(i) + " lacks integer " +
+              what + "/" + total_key +
+              " fields (torn or foreign shard file?)";
+      return false;
+    }
+    const record_field* g = rec.find("grid");
+    const std::string this_grid =
+        g != nullptr && g->type == record_field::kind::string ? g->text : "";
+    if (i == 0) {
+      total = this_total;
+      grid = this_grid;
+    } else if (this_total != total || this_grid != grid) {
+      error = tag + ": record " + std::to_string(i) +
+              " disagrees with the file's own " + total_key +
+              "/grid (corrupted shard file?)";
+      return false;
+    }
+    if (idx >= total) {
+      error = tag + ": " + what + " index " + std::to_string(idx) +
+              " out of range [0, " + std::to_string(total) + ")";
+      return false;
+    }
+    if (idx != expect) {
+      error = tag + ": record " + std::to_string(i) + " holds " + what + " " +
+              std::to_string(idx) + " where " + what + " " +
+              std::to_string(expect) +
+              " was owed (torn, truncated, or reordered shard file?)";
+      return false;
+    }
+    expect += s.count;
+  }
+  const usize owed = total > s.index ? (total - s.index - 1) / s.count + 1 : 0;
+  if (records.size() != owed) {
+    error = tag + ": holds " + std::to_string(records.size()) + " of " +
+            std::to_string(owed) + " owed " + what + "s (" + total_key + " " +
+            std::to_string(total) + ") — truncated shard file?";
+    return false;
+  }
+  return true;
+}
+
 merge_result merge_shards(const std::vector<std::vector<record>>& shards) {
   // Schema sniff: the first record decides (a unit record always carries
   // "unit"); mixing schemas across shards is caught by the chosen path's

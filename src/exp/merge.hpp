@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exp/record.hpp"
+#include "exp/shard.hpp"
 
 namespace amo::exp {
 
@@ -36,5 +37,17 @@ struct merge_result {
 /// Merges the records of several shard files (each element = one file's
 /// parsed records, any order).
 merge_result merge_shards(const std::vector<std::vector<record>>& shards);
+
+/// Integrity check for ONE shard file against the slice it owes: the
+/// records must be internally consistent (every record carries the same
+/// units_total/cells_total/grid) and their unit (or legacy cell) indices
+/// must be exactly the strided partition {s.index, s.index + s.count, ...}
+/// below the declared total, in order — the record-layer completeness
+/// contract that lets a supervisor reject a torn, truncated, or corrupted
+/// shard artifact with a precise diagnostic *before* feeding it to a
+/// merge. An empty record array passes (a shard can legitimately own zero
+/// units). False with `error` set on any violation.
+bool verify_shard_records(const std::vector<record>& records,
+                          const shard_ref& s, std::string& error);
 
 }  // namespace amo::exp

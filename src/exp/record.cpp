@@ -315,6 +315,11 @@ parse_result parse_records(std::string_view doc) {
     if (!sc.eof()) sc.fail("trailing content after the record array");
   }
   out.error = sc.error;
+  // A failure with the cursor at EOF is the signature of a document cut
+  // short mid-token — name the likely cause (a torn artifact from a
+  // non-atomic writer) so merge/dispatch diagnostics point at the file,
+  // not the parser.
+  if (!out.ok() && sc.eof()) out.error += " (truncated document?)";
   if (!out.ok()) out.records.clear();
   return out;
 }
@@ -341,8 +346,14 @@ std::string render_records(const std::vector<record>& records) {
   return json.dump();
 }
 
+bool write_records_file(const char* path, const std::vector<record>& records,
+                        std::string& error) {
+  return write_file_atomic(path, render_records(records), error);
+}
+
 bool write_records_file(const char* path, const std::vector<record>& records) {
-  return write_file(path, render_records(records));
+  std::string ignored;
+  return write_records_file(path, records, ignored);
 }
 
 }  // namespace amo::exp

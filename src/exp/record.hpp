@@ -56,7 +56,14 @@ parse_result parse_records_file(const char* path);
 /// re-emitting each value's raw source token verbatim.
 std::string render_records(const std::vector<record>& records);
 
-/// Writes render_records() to `path`; false on I/O failure.
+/// Writes render_records() to `path` atomically (util::write_file_atomic:
+/// tmp + fsync + rename, so a killed writer can never leave a torn record
+/// file); false on I/O failure with `error` carrying the path and errno
+/// text.
+bool write_records_file(const char* path, const std::vector<record>& records,
+                        std::string& error);
+
+/// As above, for callers with nowhere to put the diagnostic.
 bool write_records_file(const char* path, const std::vector<record>& records);
 
 }  // namespace amo::exp

@@ -72,7 +72,8 @@ std::string json_writer::dump() const {
 }
 
 bool json_writer::write(const char* path) const {
-  return write_file(path, dump());
+  std::string ignored;
+  return write_file_atomic(path, dump(), ignored);
 }
 
 std::vector<std::pair<std::string, std::string>> report_fields(

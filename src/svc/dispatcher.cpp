@@ -1,19 +1,38 @@
 #include "svc/dispatcher.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
 #include <thread>
 
 #include "exp/merge.hpp"
+#include "exp/report.hpp"
+#include "svc/fault.hpp"
+#include "util/fileio.hpp"
 
 #if defined(_WIN32)
-#error "svc::dispatcher uses popen/WEXITSTATUS; no Windows port yet"
+#error "svc::dispatcher uses fork/execve/waitpid; no Windows port yet"
 #endif
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
 
 namespace amo::svc {
 
 namespace {
+
+using steady = std::chrono::steady_clock;
+
+steady::duration secs(double s) {
+  return std::chrono::duration_cast<steady::duration>(
+      std::chrono::duration<double>(s));
+}
 
 void replace_all(std::string& s, std::string_view what, std::string_view with) {
   usize pos = 0;
@@ -23,27 +42,277 @@ void replace_all(std::string& s, std::string_view what, std::string_view with) {
   }
 }
 
-/// popen with combined stdout+stderr, full capture, decoded exit status.
-void run_subprocess(shard_run& run) {
-  const std::string cmd = run.command + " 2>&1";
-  std::FILE* pipe = ::popen(cmd.c_str(), "r");
-  if (pipe == nullptr) {
-    run.exit_code = -1;
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", s);
+  return buf;
+}
+
+/// Signals the child's whole process group (it setpgid'd itself before
+/// exec), falling back to the child alone if the group is already gone.
+void signal_group(pid_t pid, int sig) {
+  if (::kill(-pid, sig) != 0) ::kill(pid, sig);
+}
+
+/// fork/exec into an own process group with combined stdout+stderr capture,
+/// a wall-clock deadline with SIGTERM -> SIGKILL escalation, and a decoded
+/// wait status. Never blocks past the deadline chain: if even SIGKILL does
+/// not produce an exit (an escaped pipe holder, an unkillable child) the
+/// supervisor abandons the attempt and reports it as a hard failure.
+void run_supervised(shard_run& run, double deadline_s, double term_grace_s,
+                    const std::vector<std::string>& env_add) {
+  run.output.clear();
+  run.exit_code = -1;
+  run.term_signal = 0;
+  run.timed_out = false;
+  run.status.clear();
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    run.status = std::string("pipe failed: ") + std::strerror(errno);
     return;
   }
-  char buf[4096];
-  usize got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
-    run.output.append(buf, got);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    run.status = std::string("fork failed: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return;
   }
-  const int status = ::pclose(pipe);
-  if (status == -1) {
-    run.exit_code = -1;
-  } else if (WIFEXITED(status)) {
-    run.exit_code = WEXITSTATUS(status);
-  } else {
-    run.exit_code = 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+  if (pid == 0) {
+    // Child: own process group (so the deadline can kill the sh AND
+    // whatever it spawned), both streams into the pipe, then exec. The
+    // inherited AMO_FAULT* vars are scrubbed — fault injection reaches a
+    // shard only as the action the dispatcher resolved for THIS attempt.
+    ::setpgid(0, 0);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> envp;
+    for (char** e = environ; *e != nullptr; ++e) {
+      if (std::string_view(*e).rfind("AMO_FAULT", 0) == 0) continue;
+      envp.push_back(*e);
+    }
+    for (const std::string& var : env_add) {
+      envp.push_back(const_cast<char*>(var.c_str()));
+    }
+    envp.push_back(nullptr);
+    char* const argv[] = {const_cast<char*>("/bin/sh"),
+                          const_cast<char*>("-c"),
+                          const_cast<char*>(run.command.c_str()), nullptr};
+    ::execve("/bin/sh", argv, envp.data());
+    std::_Exit(127);
   }
+  ::setpgid(pid, pid);  // mirror the child's call; loses the race harmlessly
+  ::close(fds[1]);
+
+  // Escalation chain shared by the drain and reap loops: when stage_end
+  // passes, SIGTERM the group; term_grace_s later, SIGKILL it; the same
+  // grace later, give up waiting entirely.
+  const double grace = term_grace_s > 0.05 ? term_grace_s : 0.05;
+  steady::time_point stage_end =
+      deadline_s > 0 ? steady::now() + secs(deadline_s)
+                     : steady::time_point::max();
+  int sig_next = SIGTERM;
+  const auto escalate = [&]() -> bool {  // false: chain exhausted
+    if (sig_next == SIGTERM) {
+      run.timed_out = true;
+      signal_group(pid, SIGTERM);
+      sig_next = SIGKILL;
+    } else if (sig_next == SIGKILL) {
+      signal_group(pid, SIGKILL);
+      sig_next = 0;
+    } else {
+      return false;
+    }
+    stage_end = steady::now() + secs(grace);
+    return true;
+  };
+
+  struct pollfd pfd = {};
+  pfd.fd = fds[0];
+  pfd.events = POLLIN;
+  for (bool draining = true; draining;) {
+    int timeout_ms = -1;
+    if (stage_end != steady::time_point::max()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            stage_end - steady::now())
+                            .count();
+      timeout_ms = left < 0 ? 0 : static_cast<int>(left < 60000 ? left : 60000);
+    }
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr > 0) {
+      char buf[4096];
+      const ssize_t got = ::read(fds[0], buf, sizeof buf);
+      if (got > 0) {
+        run.output.append(buf, static_cast<usize>(got));
+      } else if (got == 0 || (errno != EINTR && errno != EAGAIN)) {
+        draining = false;  // EOF (or a hard read error): the stream is done
+      }
+    } else if (pr == 0) {
+      if (stage_end != steady::time_point::max() &&
+          steady::now() >= stage_end && !escalate()) {
+        draining = false;  // SIGKILL did not close the pipe; stop waiting
+      }
+    } else if (errno != EINTR) {
+      draining = false;
+    }
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  bool reaped = false;
+  for (;;) {
+    const pid_t w = ::waitpid(pid, &status, WNOHANG);
+    if (w == pid) {
+      reaped = true;
+      break;
+    }
+    if (w < 0 && errno != EINTR) break;
+    if (stage_end != steady::time_point::max() &&
+        steady::now() >= stage_end && !escalate()) {
+      break;  // unkillable child: abandon the attempt, report hard failure
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  if (reaped) {
+    if (WIFEXITED(status)) {
+      run.exit_code = WEXITSTATUS(status);
+      run.status = "exit " + std::to_string(run.exit_code);
+    } else if (WIFSIGNALED(status)) {
+      run.term_signal = WTERMSIG(status);
+      run.exit_code = 128 + run.term_signal;
+      run.status = "signal " + std::to_string(run.term_signal) + " (" +
+                   signal_name(run.term_signal) + ")";
+    } else {
+      run.status = "unrecognized wait status";
+    }
+  } else if (run.status.empty()) {
+    run.status = run.timed_out ? "unreaped after SIGKILL" : "waitpid failed";
+  }
+  if (run.timed_out) {
+    run.status += "; deadline (" + fmt_seconds(deadline_s) + "s) expired";
+    // A child that caught SIGTERM and exited 0/1 anyway still blew the
+    // deadline: classify as the coreutils-timeout failure, not a result.
+    if (run.exit_code == 0 || run.exit_code == 1) run.exit_code = 124;
+  }
+}
+
+std::string manifest_path(const dispatch_options& opt) {
+  return opt.manifest.empty() ? opt.dir + "/dispatch-manifest.json"
+                              : opt.manifest;
+}
+
+/// Checkpoints every validated shard (atomic write): enough for a later
+/// `dispatch --resume` to verify and adopt the file without rerunning it.
+void write_manifest(const std::string& path,
+                    const std::vector<shard_run>& runs,
+                    std::uint64_t args_fp) {
+  using W = exp::json_writer;
+  W json;
+  for (const shard_run& run : runs) {
+    if (!run.validated) continue;
+    json.add({{"shard", W::num(std::uint64_t{run.shard.index})},
+              {"shards", W::num(std::uint64_t{run.shard.count})},
+              {"file", W::str(run.file)},
+              {"exit", W::num(std::uint64_t{
+                           static_cast<unsigned>(run.exit_code)})},
+              {"fnv64", W::str(hex64(run.content_fnv64))},
+              {"args_fnv64", W::str(hex64(args_fp))}});
+  }
+  json.write(path.c_str());
+}
+
+/// Adopts completed shards from a previous dispatch's manifest. Trust
+/// nothing: an entry counts only if its args fingerprint matches this
+/// dispatch, the file's bytes still hash to the recorded value, and the
+/// content parses and passes the shard-slice integrity check. Anything
+/// else is skipped (and hence relaunched) with a note, never an error.
+usize load_manifest(const std::string& path, std::vector<shard_run>& runs,
+                    std::uint64_t args_fp, bool quiet) {
+  const exp::parse_result parsed = exp::parse_records_file(path.c_str());
+  if (!parsed.ok()) {
+    if (!quiet) {
+      std::fprintf(stderr, "dispatch: --resume found no usable manifest (%s)\n",
+                   parsed.error.c_str());
+    }
+    return 0;
+  }
+  const std::string want_args = hex64(args_fp);
+  usize adopted = 0;
+  for (const exp::record& rec : parsed.records) {
+    const exp::record_field* f_shard = rec.find("shard");
+    const exp::record_field* f_count = rec.find("shards");
+    const exp::record_field* f_file = rec.find("file");
+    const exp::record_field* f_exit = rec.find("exit");
+    const exp::record_field* f_hash = rec.find("fnv64");
+    const exp::record_field* f_args = rec.find("args_fnv64");
+    if (f_shard == nullptr || f_count == nullptr || f_file == nullptr ||
+        f_exit == nullptr || f_hash == nullptr || f_args == nullptr) {
+      continue;
+    }
+    const auto index = static_cast<usize>(f_shard->number);
+    const auto count = static_cast<usize>(f_count->number);
+    const int exit_code = static_cast<int>(f_exit->number);
+    if (count != runs.size() || index >= runs.size() ||
+        (exit_code != 0 && exit_code != 1) || f_args->text != want_args) {
+      continue;  // a different partition or a different job: not ours
+    }
+    shard_run& run = runs[index];
+    if (run.validated || f_file->text != run.file) continue;
+    std::string content;
+    std::string err;
+    const auto skip = [&](const std::string& why) {
+      if (!quiet) {
+        std::fprintf(stderr, "dispatch: not reusing shard %s: %s\n",
+                     exp::to_string(run.shard).c_str(), why.c_str());
+      }
+    };
+    if (!read_file(run.file.c_str(), content, err)) {
+      skip(err);
+      continue;
+    }
+    if (hex64(fnv1a64(content)) != f_hash->text) {
+      skip(run.file + ": content hash mismatch (file changed since checkpoint)");
+      continue;
+    }
+    exp::parse_result shard_parsed = exp::parse_records(content);
+    if (!shard_parsed.ok()) {
+      skip(run.file + ": " + shard_parsed.error);
+      continue;
+    }
+    if (!exp::verify_shard_records(shard_parsed.records, run.shard, err)) {
+      skip(run.file + ": " + err);
+      continue;
+    }
+    run.validated = true;
+    run.reused = true;
+    run.exit_code = exit_code;
+    run.content_fnv64 = fnv1a64(content);
+    run.records = std::move(shard_parsed.records);
+    run.status = "reused from manifest (exit " + std::to_string(exit_code) +
+                 ")";
+    ++adopted;
+  }
+  return adopted;
 }
 
 }  // namespace
@@ -60,6 +329,30 @@ std::string expand_command(const std::string& tmpl, const std::string& self,
   return cmd;
 }
 
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGTRAP: return "SIGTRAP";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGUSR1: return "SIGUSR1";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGUSR2: return "SIGUSR2";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+    case SIGCHLD: return "SIGCHLD";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return "SIG#" + std::to_string(sig);
+  }
+}
+
 dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
   dispatch_result out;
   if (opt.shards == 0) {
@@ -68,86 +361,144 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
     return out;
   }
 
+  fault_plan plan;
+  if (!opt.inject.empty()) {
+    std::string perr;
+    if (!parse_fault_plan(opt.inject, plan, perr)) {
+      out.error = "dispatch: bad --inject spec: " + perr;
+      out.exit_code = 2;
+      return out;
+    }
+  }
+
   out.shards.resize(opt.shards);
   for (usize i = 0; i < opt.shards; ++i) {
     shard_run& run = out.shards[i];
     run.shard = {i, opt.shards};
     run.file = opt.dir + "/dispatch-shard-" + std::to_string(i) + "of" +
                std::to_string(opt.shards) + ".json";
-    run.command = expand_command(opt.command, opt.self, args, run.shard,
-                                 run.file);
+    run.command =
+        expand_command(opt.command, opt.self, args, run.shard, run.file);
   }
 
-  {
-    // All shards in flight at once: the point of dispatching is that the
-    // k partitions run on k processes (or k hosts, via the template).
-    std::vector<std::jthread> launchers;
-    launchers.reserve(opt.shards);
-    for (shard_run& run : out.shards) {
-      run.attempts = 1;
-      launchers.emplace_back(run_subprocess, std::ref(run));
+  // The checkpoint identity: a manifest entry may only satisfy a dispatch
+  // with the same job arguments, launch template, and partition width.
+  const std::uint64_t args_fp = fnv1a64(args + "\n" + opt.command + "\n" +
+                                        std::to_string(opt.shards));
+  const std::string manifest = manifest_path(opt);
+  if (opt.resume) {
+    out.reused = load_manifest(manifest, out.shards, args_fp, opt.quiet);
+    if (!opt.quiet && out.reused > 0) {
+      std::fprintf(stderr, "dispatch: resumed %zu of %zu shards from %s\n",
+                   out.reused, opt.shards, manifest.c_str());
     }
-  }  // join
+  }
 
-  // Hard-failed shards (launch failure or exit > 1) re-launch up to
-  // opt.retries times — only the failed slices, in parallel; the healthy
-  // shards' files are already on disk and the partition is deterministic,
-  // so a retried shard recomputes exactly the units it owed.
-  for (usize attempt = 0; attempt < opt.retries; ++attempt) {
-    std::vector<shard_run*> failed;
+  // Wave loop: launch every not-yet-validated shard in parallel (the point
+  // of dispatching is that k partitions run on k processes), then classify
+  // and VALIDATE the survivors' artifacts. A shard counts as done only
+  // once its file parses and covers exactly the slice it owes — a crash, a
+  // timeout, a torn write, and a corrupted byte all land in the same
+  // retry path, with the cause spelled out.
+  for (usize wave = 0;; ++wave) {
+    std::vector<shard_run*> todo;
     for (shard_run& run : out.shards) {
-      if (run.exit_code == -1 || run.exit_code > 1) failed.push_back(&run);
+      if (!run.validated) todo.push_back(&run);
     }
-    if (failed.empty()) break;
-    std::vector<std::jthread> launchers;
-    launchers.reserve(failed.size());
-    for (shard_run* run : failed) {
-      if (!opt.quiet) {
-        std::fprintf(stderr,
-                     "dispatch: retrying shard %s (exit %d, attempt %zu of "
-                     "%zu)\n",
-                     exp::to_string(run->shard).c_str(), run->exit_code,
-                     attempt + 2, opt.retries + 1);
+    if (todo.empty() || wave > opt.retries) break;
+
+    {
+      std::vector<std::jthread> launchers;
+      launchers.reserve(todo.size());
+      for (shard_run* run : todo) {
+        if (wave > 0 && !opt.quiet) {
+          std::fprintf(stderr,
+                       "dispatch: retrying shard %s (%s%s%s), attempt %zu of "
+                       "%zu\n",
+                       exp::to_string(run->shard).c_str(), run->status.c_str(),
+                       run->detail.empty() ? "" : ": ", run->detail.c_str(),
+                       run->attempts + 1, opt.retries + 1);
+        }
+        run->output.clear();
+        run->detail.clear();
+        run->records.clear();
+        ++run->attempts;
+        std::vector<std::string> env_add;
+        if (!opt.inject.empty()) {
+          const fault_action a =
+              plan_action(plan, run->shard.index, run->attempts);
+          if (a.fires()) env_add.push_back("AMO_FAULT=" + to_spec(a));
+        }
+        launchers.emplace_back(
+            [run, &opt, env = std::move(env_add)] {
+              run_supervised(*run, opt.deadline_s, opt.term_grace_s, env);
+            });
       }
-      run->output.clear();
-      run->exit_code = -1;
-      ++run->attempts;
-      launchers.emplace_back(run_subprocess, std::ref(*run));
+    }  // join
+
+    for (shard_run* run : todo) {
+      if (run->exit_code != 0 && run->exit_code != 1) continue;  // retryable
+      std::string content;
+      std::string err;
+      if (!read_file(run->file.c_str(), content, err)) {
+        run->detail = err;
+        continue;
+      }
+      exp::parse_result parsed = exp::parse_records(content);
+      if (!parsed.ok()) {
+        run->detail = run->file + ": " + parsed.error;
+        continue;
+      }
+      if (!exp::verify_shard_records(parsed.records, run->shard, err)) {
+        run->detail = run->file + ": " + err;
+        continue;
+      }
+      run->validated = true;
+      run->content_fnv64 = fnv1a64(content);
+      run->records = std::move(parsed.records);
     }
+
+    // Checkpoint after every wave: if THIS process dies next, --resume
+    // picks up from here.
+    write_manifest(manifest, out.shards, args_fp);
   }
 
   int worst = 0;
   for (const shard_run& run : out.shards) {
     if (!opt.quiet) {
-      std::fprintf(stderr, "dispatch: shard %s exit %d after %zu attempt%s (%s)\n",
-                   exp::to_string(run.shard).c_str(), run.exit_code,
+      std::fprintf(stderr, "dispatch: shard %s %s after %zu attempt%s (%s)\n",
+                   exp::to_string(run.shard).c_str(), run.status.c_str(),
                    run.attempts, run.attempts == 1 ? "" : "s",
-                   run.command.c_str());
+                   run.reused ? "reused" : run.command.c_str());
     }
-    worst = std::max(worst, run.exit_code == -1 ? 2 : run.exit_code);
+    if (run.validated && run.exit_code == 1) worst = 1;
   }
-  if (worst > 1 || worst < 0) {
-    for (const shard_run& run : out.shards) {
-      if (run.exit_code != 0 && run.exit_code != 1) {
-        out.error = "shard " + exp::to_string(run.shard) + " failed (exit " +
-                    std::to_string(run.exit_code) + "): " + run.command;
-        break;
-      }
+
+  bool any_failed = false;
+  bool any_hard = false;
+  for (const shard_run& run : out.shards) {
+    if (run.validated) continue;
+    any_failed = true;
+    if (run.exit_code < 0 || run.exit_code > 1) any_hard = true;
+    if (out.error.empty()) {
+      out.error = "shard " + exp::to_string(run.shard) + " failed (" +
+                  run.status + ")" +
+                  (run.detail.empty() ? "" : ": " + run.detail) + " after " +
+                  std::to_string(run.attempts) + " attempt" +
+                  (run.attempts == 1 ? "" : "s") + ": " + run.command;
     }
-    out.exit_code = 2;
+  }
+  if (any_failed) {
+    out.error += "; completed shards are checkpointed in " + manifest +
+                 " (relaunch with --resume)";
+    out.exit_code = any_hard ? 2 : 3;
     return out;
   }
 
   std::vector<std::vector<exp::record>> shard_records;
   shard_records.reserve(opt.shards);
-  for (const shard_run& run : out.shards) {
-    exp::parse_result parsed = exp::parse_records_file(run.file.c_str());
-    if (!parsed.ok()) {
-      out.error = parsed.error;
-      out.exit_code = 3;
-      return out;
-    }
-    shard_records.push_back(std::move(parsed.records));
+  for (shard_run& run : out.shards) {
+    shard_records.push_back(std::move(run.records));
   }
 
   exp::merge_result merged = exp::merge_shards(shard_records);
@@ -158,15 +509,21 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
   }
   out.merged = std::move(merged.records);
 
-  if (!opt.out.empty() &&
-      !exp::write_records_file(opt.out.c_str(), out.merged)) {
-    out.error = "cannot write " + opt.out;
-    out.exit_code = 3;
-    return out;
+  if (!opt.out.empty()) {
+    std::string werr;
+    if (!exp::write_records_file(opt.out.c_str(), out.merged, werr)) {
+      out.error = werr;
+      out.exit_code = 3;
+      return out;
+    }
   }
 
   if (!opt.keep_shards) {
-    for (const shard_run& run : out.shards) std::remove(run.file.c_str());
+    for (const shard_run& run : out.shards) {
+      std::remove(run.file.c_str());
+      std::remove((run.file + ".tmp").c_str());  // stray from a torn fault
+    }
+    std::remove(manifest.c_str());
   }
   out.exit_code = worst;  // 0, or 1 when a shard flagged a safety violation
   return out;

@@ -1,0 +1,128 @@
+// svc::fault — deterministic fault injection for the experiment service.
+//
+// The paper's algorithms tolerate adversarial crashes; this plane makes
+// the *infrastructure* face the same adversary, reproducibly. A fault plan
+// is a seeded, keyed schedule of injectable failures — crash before the
+// output write, write a torn (truncated) artifact, corrupt output bytes,
+// hang, or delay — that a shard/job writer consults at its single output
+// point. Because the schedule is a pure function of (plan, key, attempt),
+// CI can exercise every recovery path (deadline kill, retry, resume,
+// merge-integrity rejection) and `cmp` the recovered sweep byte-identical
+// to a fault-free one (docs/robustness.md).
+//
+// Spec grammar (--inject=SPEC on `amo_lab dispatch`, or $AMO_FAULT on any
+// amo_lab writer; comma-separated):
+//
+//   spec  := item ("," item)*
+//   item  := "seed=" u64 | entry
+//   entry := kind [":" param] ["@" key] ["%" num "/" den] ["x" count]
+//   kind  := crash | torn | corrupt | hang | delay
+//   key   := u64 | "*"              (default "*": any shard/job index)
+//   count := attempts 1..count fire (default 1; x0 = every attempt)
+//
+// Params: torn:N keeps the first N output bytes (0 = half); corrupt:N
+// flips the byte N positions from the END (0 = the final byte, which is
+// always structural, so the default corruption is parser-detectable);
+// delay:MS sleeps MS milliseconds before writing (default 100). "%n/d"
+// gates the entry on a deterministic coin: fires iff
+// hash(seed, key, attempt) mod d < n. The first matching entry wins.
+//
+// Two halves: the *plan* side (parse_fault_plan / plan_action) runs in the
+// dispatcher, which resolves one concrete action per shard launch and
+// hands it to the child via AMO_FAULT + AMO_FAULT_ATTEMPT; the *action*
+// side (apply_pre_write / mangle_output) runs in the writer. A plan set
+// directly in a child's environment is evaluated there against the job's
+// own shard/job key — the same schedule either way.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amo::svc {
+
+enum class fault_kind : std::uint8_t { none, crash, torn, corrupt, hang, delay };
+
+/// One concrete injectable failure, parameter resolved.
+struct fault_action {
+  fault_kind kind = fault_kind::none;
+  std::uint64_t param = 0;  ///< torn: bytes kept; corrupt: offset from end;
+                            ///< delay: milliseconds
+
+  [[nodiscard]] bool fires() const { return kind != fault_kind::none; }
+
+  friend bool operator==(const fault_action&, const fault_action&) = default;
+};
+
+/// One schedule line of a plan.
+struct fault_entry {
+  fault_action action;
+  bool any_key = true;          ///< "@*" (or no "@"): matches every key
+  std::uint64_t key = 0;        ///< shard/job index the entry targets
+  std::uint64_t rate_num = 1;   ///< "%n/d": deterministic coin, default 1/1
+  std::uint64_t rate_den = 1;
+  std::uint64_t attempts = 1;   ///< fires on attempts 1..attempts (0 = all)
+};
+
+struct fault_plan {
+  std::uint64_t seed = 0;
+  std::vector<fault_entry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+};
+
+/// Parses the spec grammar above. False with `error` set on malformed
+/// input; `out` is untouched on failure.
+bool parse_fault_plan(std::string_view spec, fault_plan& out,
+                      std::string& error);
+
+/// The action the plan prescribes for (key, attempt) — attempt is 1-based;
+/// first matching entry wins; kind none when nothing fires. Pure in its
+/// arguments: every host computes the same schedule.
+[[nodiscard]] fault_action plan_action(const fault_plan& plan,
+                                       std::uint64_t key,
+                                       std::uint64_t attempt);
+
+/// Renders an action as a single spec entry ("torn:40"), the form the
+/// dispatcher hands a child via AMO_FAULT. to_spec(a) re-parses to a plan
+/// whose every-key entry reproduces `a`.
+[[nodiscard]] std::string to_spec(const fault_action& a);
+
+// --- writer-side application --------------------------------------------
+
+/// Applies the pre-write half of an action: crash exits the process
+/// (exit 70, a hard failure the retry machinery sees), hang sleeps until
+/// the supervising deadline kills the process, delay sleeps param ms.
+/// torn/corrupt do nothing here (they mangle the bytes instead).
+void apply_pre_write(const fault_action& a);
+
+/// Applies the byte-mangling half: torn truncates, corrupt flips one byte
+/// (param positions from the end). none/crash/hang/delay leave `bytes`
+/// untouched.
+void mangle_output(const fault_action& a, std::string& bytes);
+
+/// THE artifact write every amo_lab output path goes through: resolves the
+/// $AMO_FAULT plan for `key` (the writer's shard/job index), applies the
+/// pre-write half (crash/hang/delay may not return), then writes — torn
+/// and corrupt mangle the bytes and write NON-atomically (the whole point
+/// is to leave the damaged file on disk, as a killed non-atomic writer
+/// would have), everything else goes through util::write_file_atomic.
+/// False on I/O failure with `error` carrying path + errno text.
+[[nodiscard]] bool write_artifact(const char* path, std::string_view content,
+                                  std::uint64_t key, std::string& error);
+
+// --- process environment ------------------------------------------------
+
+/// The plan parsed from $AMO_FAULT, once per process (empty plan when the
+/// variable is unset). A malformed value is reported on stderr once and
+/// treated as empty — validate up front with parse_fault_plan where a hard
+/// failure is wanted (amo_lab does).
+[[nodiscard]] const fault_plan& env_fault_plan();
+
+/// The 1-based attempt number from $AMO_FAULT_ATTEMPT (1 when unset) —
+/// how a dispatcher-launched child knows retries must run clean.
+[[nodiscard]] std::uint64_t env_fault_attempt();
+
+}  // namespace amo::svc

@@ -5,10 +5,15 @@
 #include <thread>
 #include <unordered_set>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/shard.hpp"
 #include "exp/sweep.hpp"
+#include "svc/fault.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/worker_pool.hpp"
 #include "util/fileio.hpp"
@@ -39,10 +44,15 @@ void finish_job(const job_result& r, const server_options& opt,
 
   const std::string json = r.render_json();
   if (!r.j.out.empty()) {
-    if (!write_file(r.j.out.c_str(), json)) {
+    // Through the fault-aware artifact writer (atomic when no $AMO_FAULT
+    // action fires), keyed the way the fault plane addresses jobs: by
+    // owned shard, else by submission line.
+    const std::uint64_t key =
+        r.j.have_shard ? std::uint64_t{r.j.shard.index} : std::uint64_t{r.j.line};
+    std::string werr;
+    if (!write_artifact(r.j.out.c_str(), json, key, werr)) {
       ++sum.io_errors;
-      std::fprintf(log, "%s: cannot write %s\n", job_tag(r.j).c_str(),
-                   r.j.out.c_str());
+      std::fprintf(log, "%s: %s\n", job_tag(r.j).c_str(), werr.c_str());
     }
   } else {
     std::fputs(json.c_str(), stream);
@@ -201,19 +211,72 @@ serve_summary serve(std::istream& in, worker_pool& pool,
     queue.close();
   });
 
+  // Progress watchdog: a long-running serve must be able to tell a big job
+  // from a stuck one. Every heartbeat_s it reads the pool's progress
+  // snapshot and names the current job; an unmoved unit counter between
+  // two beats is called out as possibly stuck (the units themselves are
+  // deterministic compute — no progress means no progress).
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::string hb_current;  // under hb_mu; empty = between jobs
+  std::jthread watchdog;
+  if (opt.heartbeat_s > 0) {
+    watchdog = std::jthread([&] {
+      usize last_done = 0;
+      bool last_idle = true;
+      std::unique_lock<std::mutex> lk(hb_mu);
+      while (!hb_cv.wait_for(lk,
+                             std::chrono::duration<double>(opt.heartbeat_s),
+                             [&] { return hb_stop; })) {
+        const std::string current = hb_current;
+        lk.unlock();
+        if (current.empty()) {
+          std::fprintf(log, "serve: heartbeat: idle\n");
+          last_idle = true;
+        } else {
+          const pool_progress p = pool.progress();
+          const bool stuck = !last_idle && p.tasks_done == last_done;
+          std::fprintf(log,
+                       "serve: heartbeat: %s: %zu/%zu units on %zu workers, "
+                       "%.1fs in batch%s\n",
+                       current.c_str(), p.tasks_done, p.tasks_total, p.active,
+                       p.batch_seconds,
+                       stuck ? " — NO PROGRESS since last heartbeat" : "");
+          last_done = p.tasks_done;
+          last_idle = false;
+        }
+        lk.lock();
+      }
+    });
+  }
+
   std::unordered_set<std::string> used_out;
   job j;
   double queued_seconds = 0.0;
   while (queue.pop(j, queued_seconds)) {
+    {
+      std::lock_guard<std::mutex> lk(hb_mu);
+      hb_current = job_tag(j);
+    }
     job_result r;
     if (claim_out_path(j, used_out, r)) r = execute_job(j, pool);
     r.queue_seconds = queued_seconds;
+    {
+      std::lock_guard<std::mutex> lk(hb_mu);
+      hb_current.clear();
+    }
     // finish_job touches sum.jobs/failed/... — reader only touches
     // sum.rejected, and only under reject_mu; take it here too so the
     // final summary read (after join) sees a consistent struct.
     std::lock_guard<std::mutex> lk(reject_mu);
     finish_job(r, opt, stream, log, sum);
   }
+  {
+    std::lock_guard<std::mutex> lk(hb_mu);
+    hb_stop = true;
+  }
+  hb_cv.notify_all();
   return sum;
 }
 

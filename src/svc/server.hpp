@@ -77,6 +77,11 @@ struct server_options {
   bool quiet = false;          ///< suppress per-job outcome lines
   std::FILE* stream = nullptr; ///< sink for jobs without out= (default stdout)
   std::FILE* log = nullptr;    ///< outcome/error lines (default stderr)
+  /// serve only: emit a progress line every `heartbeat_s` seconds — the
+  /// current job, its unit counter from worker_pool::progress(), and a
+  /// stuck-job warning when the counter has not moved since the previous
+  /// beat. 0 = no watchdog.
+  double heartbeat_s = 0.0;
 };
 
 /// Severity-keyed tally across one batch / serve session.

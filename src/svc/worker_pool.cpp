@@ -35,6 +35,21 @@ usize worker_pool::batches_run() const {
   return batches_;
 }
 
+pool_progress worker_pool::progress() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  pool_progress p;
+  p.batches = batches_;
+  p.active = batch_active_;
+  if (batch_active_) {
+    p.tasks_total = batch_total_;
+    p.tasks_done = batch_total_ - remaining_;
+    p.batch_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - batch_start_)
+                          .count();
+  }
+  return p;
+}
+
 void worker_pool::run_serial(usize count, const std::function<void(usize)>& fn) {
   for (usize i = 0; i < count; ++i) {
     try {
@@ -42,6 +57,8 @@ void worker_pool::run_serial(usize count, const std::function<void(usize)>& fn) 
     } catch (...) {
       if (!first_error_) first_error_ = std::current_exception();
     }
+    std::lock_guard<std::mutex> lk(mu_);
+    --remaining_;
   }
 }
 
@@ -52,10 +69,19 @@ usize worker_pool::run_indexed(usize count,
   first_error_ = nullptr;
 
   if (workers_ <= 1 || count == 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      batch_active_ = true;
+      batch_total_ = count;
+      remaining_ = count;
+      batch_start_ = std::chrono::steady_clock::now();
+    }
     run_serial(count, fn);
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++batches_;
+      batch_active_ = false;
+      batch_total_ = 0;
     }
     if (first_error_) {
       std::exception_ptr e = std::exchange(first_error_, nullptr);
@@ -75,6 +101,9 @@ usize worker_pool::run_indexed(usize count,
     remaining_ = count;
     ++generation_;
     ++batches_;
+    batch_active_ = true;
+    batch_total_ = count;
+    batch_start_ = std::chrono::steady_clock::now();
   }
   work_cv_.notify_all();
 
@@ -83,6 +112,8 @@ usize worker_pool::run_indexed(usize count,
     done_cv_.wait(lk, [this] { return remaining_ == 0 && in_batch_ == 0; });
     fn_ = nullptr;
     active_queues_ = 0;
+    batch_active_ = false;
+    batch_total_ = 0;
   }
   if (first_error_) {
     std::exception_ptr e = std::exchange(first_error_, nullptr);

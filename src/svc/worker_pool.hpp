@@ -17,6 +17,7 @@
 // same bytes as a thousand fresh pools (tested in tests/test_svc_pool.cpp).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -29,6 +30,17 @@
 #include "util/types.hpp"
 
 namespace amo::svc {
+
+/// A point-in-time snapshot of the pool's current batch — the heartbeat
+/// hook a supervisor (the serve loop's stuck-job watchdog) polls to tell a
+/// slow job from a hung one without instrumenting the tasks themselves.
+struct pool_progress {
+  usize batches = 0;        ///< batches dispatched so far (== batches_run())
+  bool active = false;      ///< a batch is currently in flight
+  usize tasks_total = 0;    ///< tasks of the in-flight batch (0 when idle)
+  usize tasks_done = 0;     ///< of those, completed so far
+  double batch_seconds = 0; ///< wall time since the batch was dispatched
+};
 
 class worker_pool {
  public:
@@ -50,6 +62,12 @@ class worker_pool {
   /// Batches dispatched so far (inline ones included) — the number the
   /// pool has amortized its thread startup over.
   [[nodiscard]] usize batches_run() const;
+
+  /// Snapshot of the in-flight batch, safe to call from any thread at any
+  /// time (including while another thread is inside run_indexed). Both
+  /// execution modes report: the inline path updates the same counters
+  /// under the lock, so a single-worker pool's watchdog sees real progress.
+  [[nodiscard]] pool_progress progress() const;
 
   /// Invokes fn(i) for every i in [0, count), distributed over the pool;
   /// returns when all invocations completed. With a single worker (or
@@ -89,6 +107,9 @@ class worker_pool {
   usize remaining_ = 0;       ///< tasks not yet completed
   usize in_batch_ = 0;        ///< workers currently inside the batch
   usize batches_ = 0;
+  bool batch_active_ = false; ///< progress(): a batch is in flight
+  usize batch_total_ = 0;     ///< progress(): tasks of that batch
+  std::chrono::steady_clock::time_point batch_start_{};
   std::vector<std::unique_ptr<worker_queue>> queues_;
   std::exception_ptr first_error_;
 

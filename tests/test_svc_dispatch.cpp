@@ -1,9 +1,13 @@
-// The shard dispatcher: template expansion, failure classification, and —
-// when the amo_lab binary is next to the test (ctest runs in the build
-// directory) — a real end-to-end dispatch whose merged output must be
-// byte-identical to the one-shot sweep.
+// The shard dispatcher: template expansion, failure classification,
+// process supervision (deadlines, signal decode), output validation,
+// checkpoint/resume — and, when the amo_lab binary is next to the test
+// (ctest runs in the build directory), a real end-to-end dispatch whose
+// merged output must be byte-identical to the one-shot sweep, including
+// under injected faults.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -139,6 +143,103 @@ TEST(SvcDispatch, MissingShardOutputIsAnIoError) {
   const svc::dispatch_result r = svc::dispatch("", opt);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.exit_code, 3);
+}
+
+TEST(SvcDispatch, HungShardIsKilledAtTheDeadline) {
+  // A shard that never finishes must not block the dispatch past the
+  // deadline: the whole process group is SIGTERMed, and the death is
+  // reported as a timeout, not a mystery signal.
+  svc::dispatch_options opt;
+  opt.shards = 1;
+  opt.command = "sleep 600";
+  opt.quiet = true;
+  opt.deadline_s = 1.0;
+  opt.term_grace_s = 0.5;
+  const auto t0 = std::chrono::steady_clock::now();
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 2);
+  ASSERT_EQ(r.shards.size(), 1u);
+  const svc::shard_run& run = r.shards[0];
+  EXPECT_TRUE(run.timed_out);
+  EXPECT_NE(run.status.find("deadline (1s) expired"), std::string::npos)
+      << run.status;
+  EXPECT_NE(run.status.find("SIGTERM"), std::string::npos) << run.status;
+  EXPECT_EQ(run.exit_code, 128 + SIGTERM);
+  EXPECT_LT(wall, 30.0) << "deadline did not bound the dispatch";
+}
+
+TEST(SvcDispatch, SignalDeathIsDecodedByName) {
+  // WIFSIGNALED is not WIFEXITED: a SIGKILLed shard must surface the
+  // signal by name, not masquerade as some exit code.
+  svc::dispatch_options opt;
+  opt.shards = 1;
+  opt.command = "kill -9 $$";
+  opt.quiet = true;
+  const svc::dispatch_result r = svc::dispatch("", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 2);
+  ASSERT_EQ(r.shards.size(), 1u);
+  EXPECT_EQ(r.shards[0].exit_code, 128 + SIGKILL);
+  EXPECT_EQ(r.shards[0].term_signal, SIGKILL);
+  EXPECT_NE(r.shards[0].status.find("signal 9 (SIGKILL)"), std::string::npos)
+      << r.shards[0].status;
+}
+
+TEST(SvcDispatch, ResumeAdoptsValidatedShardsFromTheManifest) {
+  // First dispatch: shard 0 succeeds, shard 1 fails hard — the manifest
+  // checkpoints shard 0. Resume: shard 0 is adopted without relaunching
+  // (its command would exit 7 if run again — the marker file proves it
+  // wasn't), shard 1 alone is relaunched and now succeeds.
+  const std::string dir = ::testing::TempDir();
+  const std::string marker = dir + "/resume_marker";
+  const std::string go = dir + "/resume_go";
+  std::remove((marker + "_0").c_str());
+  std::remove((marker + "_1").c_str());
+  std::remove(go.c_str());
+
+  svc::dispatch_options opt;
+  opt.shards = 2;
+  opt.dir = dir;
+  opt.quiet = true;
+  opt.command =
+      "sh -c 's={shard}; i=${s%%/*}; f=" + marker + "_$i; "
+      "if [ \"$i\" = 0 ] && [ -e \"$f\" ]; then exit 7; fi; : > \"$f\"; "
+      "if [ \"$i\" = 1 ] && [ ! -e " + go + " ]; then exit 9; fi; "
+      "printf '\\''[\\n  {\"cell\": %s, \"cells_total\": 2, "
+      "\"grid\": \"g\", \"effectiveness\": 1}\\n]\\n'\\'' \"$i\" > {out}'";
+
+  const svc::dispatch_result first = svc::dispatch("", opt);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.exit_code, 2);
+  EXPECT_NE(first.error.find("--resume"), std::string::npos) << first.error;
+
+  std::ofstream(go) << "";  // shard 1 passes from now on
+  opt.resume = true;
+  const svc::dispatch_result second = svc::dispatch("", opt);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.reused, 1u);
+  ASSERT_EQ(second.shards.size(), 2u);
+  EXPECT_TRUE(second.shards[0].reused);
+  EXPECT_EQ(second.shards[0].attempts, 0u);
+  EXPECT_NE(second.shards[0].status.find("reused from manifest"),
+            std::string::npos)
+      << second.shards[0].status;
+  EXPECT_FALSE(second.shards[1].reused);
+  EXPECT_EQ(second.shards[1].attempts, 1u);
+  ASSERT_EQ(second.merged.size(), 2u);
+
+  // Success cleans the checkpoint up: the manifest is gone.
+  std::FILE* m = std::fopen((dir + "/dispatch-manifest.json").c_str(), "rb");
+  EXPECT_EQ(m, nullptr) << "manifest should be removed after success";
+  if (m != nullptr) std::fclose(m);
+  std::remove((marker + "_0").c_str());
+  std::remove((marker + "_1").c_str());
+  std::remove(go.c_str());
 }
 
 TEST(SvcDispatch, CapturesSubprocessOutput) {

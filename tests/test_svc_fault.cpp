@@ -1,0 +1,207 @@
+// svc::fault — the deterministic fault-injection plane: the spec grammar,
+// the (plan, key, attempt) -> action schedule and its determinism, the
+// writer-side byte mangling, and the fault-free write_artifact path
+// (which must be atomic and leave no droppings).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "svc/dispatcher.hpp"
+#include "svc/fault.hpp"
+#include "util/fileio.hpp"
+
+namespace amo {
+namespace {
+
+using svc::fault_action;
+using svc::fault_kind;
+using svc::fault_plan;
+
+fault_plan parse_ok(const std::string& spec) {
+  fault_plan plan;
+  std::string error;
+  EXPECT_TRUE(svc::parse_fault_plan(spec, plan, error)) << spec << ": " << error;
+  return plan;
+}
+
+std::string parse_err(const std::string& spec) {
+  fault_plan plan;
+  std::string error;
+  EXPECT_FALSE(svc::parse_fault_plan(spec, plan, error)) << spec;
+  EXPECT_FALSE(error.empty()) << spec;
+  return error;
+}
+
+TEST(FaultSpec, ParsesEveryKindWithDefaults) {
+  const fault_plan plan = parse_ok("crash,torn,corrupt,hang,delay");
+  ASSERT_EQ(plan.entries.size(), 5u);
+  EXPECT_EQ(plan.entries[0].action.kind, fault_kind::crash);
+  EXPECT_EQ(plan.entries[1].action.kind, fault_kind::torn);
+  EXPECT_EQ(plan.entries[2].action.kind, fault_kind::corrupt);
+  EXPECT_EQ(plan.entries[3].action.kind, fault_kind::hang);
+  EXPECT_EQ(plan.entries[4].action.kind, fault_kind::delay);
+  EXPECT_EQ(plan.entries[4].action.param, 100u);  // delay default: 100 ms
+  for (const svc::fault_entry& e : plan.entries) {
+    EXPECT_TRUE(e.any_key);
+    EXPECT_EQ(e.attempts, 1u);  // default: first attempt only
+  }
+}
+
+TEST(FaultSpec, ParsesDecorations) {
+  const fault_plan plan = parse_ok("seed=99,torn:40@2%1/3x5");
+  EXPECT_EQ(plan.seed, 99u);
+  ASSERT_EQ(plan.entries.size(), 1u);
+  const svc::fault_entry& e = plan.entries[0];
+  EXPECT_EQ(e.action.kind, fault_kind::torn);
+  EXPECT_EQ(e.action.param, 40u);
+  EXPECT_FALSE(e.any_key);
+  EXPECT_EQ(e.key, 2u);
+  EXPECT_EQ(e.rate_num, 1u);
+  EXPECT_EQ(e.rate_den, 3u);
+  EXPECT_EQ(e.attempts, 5u);
+}
+
+TEST(FaultSpec, EmptySpecIsAnEmptyPlan) {
+  const fault_plan plan = parse_ok("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(svc::plan_action(plan, 0, 1).fires());
+}
+
+TEST(FaultSpec, MalformedSpecsNameTheProblem) {
+  EXPECT_NE(parse_err("explode").find("unknown fault kind"), std::string::npos);
+  EXPECT_NE(parse_err("torn:x").find("bad parameter"), std::string::npos);
+  EXPECT_NE(parse_err("crash@foo").find("bad key"), std::string::npos);
+  EXPECT_NE(parse_err("crash%1/0").find("bad rate"), std::string::npos);
+  EXPECT_NE(parse_err("crash,").find("empty fault entry"), std::string::npos);
+  EXPECT_NE(parse_err("seed=banana").find("bad seed"), std::string::npos);
+}
+
+TEST(FaultPlan, KeyTargetingAndFirstMatchWins) {
+  const fault_plan plan = parse_ok("crash@1,torn@*");
+  EXPECT_EQ(svc::plan_action(plan, 1, 1).kind, fault_kind::crash);
+  EXPECT_EQ(svc::plan_action(plan, 0, 1).kind, fault_kind::torn);
+  EXPECT_EQ(svc::plan_action(plan, 7, 1).kind, fault_kind::torn);
+}
+
+TEST(FaultPlan, DefaultEntryFiresOnTheFirstAttemptOnly) {
+  // This is what makes "--inject=crash --retries=1" recover: attempt 1
+  // crashes, attempt 2 runs clean.
+  const fault_plan plan = parse_ok("crash");
+  EXPECT_TRUE(svc::plan_action(plan, 0, 1).fires());
+  EXPECT_FALSE(svc::plan_action(plan, 0, 2).fires());
+
+  // x0 = every attempt; x3 = attempts 1..3.
+  const fault_plan always = parse_ok("crashx0");
+  EXPECT_TRUE(svc::plan_action(always, 0, 1).fires());
+  EXPECT_TRUE(svc::plan_action(always, 0, 50).fires());
+  const fault_plan three = parse_ok("crashx3");
+  EXPECT_TRUE(svc::plan_action(three, 0, 3).fires());
+  EXPECT_FALSE(svc::plan_action(three, 0, 4).fires());
+}
+
+TEST(FaultPlan, RateCoinIsDeterministicAndSeedKeyed) {
+  const fault_plan plan = parse_ok("seed=5,crash%1/2x0");
+  usize fired = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const bool a = svc::plan_action(plan, key, 1).fires();
+    const bool b = svc::plan_action(plan, key, 1).fires();
+    EXPECT_EQ(a, b) << key;  // pure in (plan, key, attempt)
+    if (a) ++fired;
+  }
+  // A 1/2 coin over 64 keys: not all, not none (deterministic, so this is
+  // a fixed fact about splitmix64, not a flaky statistical bound).
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 64u);
+
+  // A different seed yields a different subset somewhere in 64 keys.
+  const fault_plan other = parse_ok("seed=6,crash%1/2x0");
+  bool any_difference = false;
+  for (std::uint64_t key = 0; key < 64 && !any_difference; ++key) {
+    any_difference = svc::plan_action(plan, key, 1).fires() !=
+                     svc::plan_action(other, key, 1).fires();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, ToSpecRoundTripsTheResolvedAction) {
+  // to_spec is how the dispatcher hands a child its concrete action via
+  // AMO_FAULT: re-parsing it must reproduce the action for any key.
+  const fault_action actions[] = {
+      {fault_kind::crash, 0}, {fault_kind::torn, 0},   {fault_kind::torn, 17},
+      {fault_kind::corrupt, 0}, {fault_kind::corrupt, 3}, {fault_kind::hang, 0},
+      {fault_kind::delay, 100}, {fault_kind::delay, 5},
+  };
+  for (const fault_action& a : actions) {
+    const std::string spec = svc::to_spec(a);
+    ASSERT_FALSE(spec.empty());
+    const fault_plan plan = parse_ok(spec);
+    EXPECT_EQ(svc::plan_action(plan, 42, 1), a) << spec;
+  }
+}
+
+TEST(FaultMangle, TornTruncatesAndCorruptFlipsFromTheEnd) {
+  std::string bytes = "0123456789";
+  svc::mangle_output({fault_kind::torn, 0}, bytes);  // default: keep half
+  EXPECT_EQ(bytes, "01234");
+  bytes = "0123456789";
+  svc::mangle_output({fault_kind::torn, 3}, bytes);
+  EXPECT_EQ(bytes, "012");
+
+  bytes = "0123456789";
+  svc::mangle_output({fault_kind::corrupt, 0}, bytes);  // last byte
+  EXPECT_EQ(bytes.substr(0, 9), "012345678");
+  EXPECT_NE(bytes[9], '9');
+  bytes = "0123456789";
+  svc::mangle_output({fault_kind::corrupt, 2}, bytes);  // 2 from the end
+  EXPECT_NE(bytes[7], '7');
+  EXPECT_EQ(bytes[9], '9');
+
+  // none / crash / hang / delay leave the bytes alone.
+  bytes = "abc";
+  svc::mangle_output({fault_kind::none, 0}, bytes);
+  svc::mangle_output({fault_kind::delay, 1}, bytes);
+  EXPECT_EQ(bytes, "abc");
+}
+
+TEST(FaultWrite, FaultFreeWriteArtifactIsAtomicAndClean) {
+  // Without $AMO_FAULT (the fault-free hot path) write_artifact must land
+  // the exact bytes and leave no .tmp behind.
+  const std::string path = ::testing::TempDir() + "/artifact.json";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+  std::string error;
+  ASSERT_TRUE(svc::write_artifact(path.c_str(), "[\n]\n", 0, error)) << error;
+  std::string back;
+  ASSERT_TRUE(read_file(path.c_str(), back, error)) << error;
+  EXPECT_EQ(back, "[\n]\n");
+  std::FILE* stray = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(stray, nullptr) << tmp << " left behind";
+  if (stray != nullptr) std::fclose(stray);
+  std::remove(path.c_str());
+}
+
+TEST(FaultWrite, WriteErrorsCarryPathAndErrnoText) {
+  std::string error;
+  EXPECT_FALSE(
+      svc::write_artifact("/nonexistent-dir-xyz/out.json", "x", 0, error));
+  EXPECT_NE(error.find("/nonexistent-dir-xyz/out.json"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("cannot "), std::string::npos) << error;
+  // errno text present (the exact spelling is libc's; "No such" on glibc).
+  EXPECT_GT(error.size(),
+            std::string("cannot open /nonexistent-dir-xyz/out.json.tmp "
+                        "for writing: ").size() - 10) << error;
+}
+
+TEST(FaultSignals, SignalNamesDecode) {
+  EXPECT_EQ(svc::signal_name(SIGTERM), "SIGTERM");
+  EXPECT_EQ(svc::signal_name(SIGKILL), "SIGKILL");
+  EXPECT_EQ(svc::signal_name(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(svc::signal_name(250), "SIG#250");
+}
+
+}  // namespace
+}  // namespace amo

@@ -8,9 +8,11 @@
 
 #include <string>
 
+#include "exp/merge.hpp"
 #include "exp/record.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
+#include "exp/shard.hpp"
 #include "exp/sweep.hpp"
 #include "svc/job.hpp"
 #include "svc/server.hpp"
@@ -91,6 +93,86 @@ TEST(RecordFuzz, RandomGarbageNeverCrashes) {
       EXPECT_TRUE(r.records.empty());
     }
   }
+}
+
+/// A well-formed shard file for shard 1/3 of a 7-unit grid (owns units
+/// 1 and 4 — the strided partition).
+std::string sample_shard_doc() {
+  using W = exp::json_writer;
+  exp::json_writer json;
+  for (const usize unit : {usize{1}, usize{4}}) {
+    json.add({{"unit", W::num(std::uint64_t{unit})},
+              {"units_total", W::num(std::uint64_t{7})},
+              {"cell", W::num(std::uint64_t{unit / 2})},
+              {"cells_total", W::num(std::uint64_t{4})},
+              {"grid", W::str("abc123")},
+              {"effectiveness", W::num(std::uint64_t{10 + unit})}});
+  }
+  return json.dump();
+}
+
+TEST(ShardIntegrityFuzz, TheIntactShardFilePasses) {
+  const exp::parse_result parsed = exp::parse_records(sample_shard_doc());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  std::string error;
+  EXPECT_TRUE(exp::verify_shard_records(parsed.records, {1, 3}, error))
+      << error;
+}
+
+TEST(ShardIntegrityFuzz, TruncationAtEveryByteIsCaught) {
+  // A shard artifact cut short at ANY byte — what a killed non-atomic
+  // writer leaves behind — must be rejected before it reaches a merge:
+  // either the parse fails (mid-token cut) or the slice check finds units
+  // missing. No truncation point may slip through as a valid shard.
+  const std::string doc = sample_shard_doc();
+  for (usize len = 0; len < doc.size(); ++len) {
+    // Cutting only trailing whitespace leaves a complete document with
+    // every record intact — that is not a torn file.
+    if (doc.find_first_not_of(" \t\r\n", len) == std::string::npos) continue;
+    const std::string torn = doc.substr(0, len);
+    const exp::parse_result parsed = exp::parse_records(torn);
+    if (!parsed.ok()) continue;  // rejected at the parse layer: good
+    std::string error;
+    EXPECT_FALSE(exp::verify_shard_records(parsed.records, {1, 3}, error))
+        << "prefix of " << len << " bytes passed as a complete shard";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ShardIntegrityFuzz, WrongSliceMembersAreNamedPrecisely) {
+  const exp::parse_result parsed = exp::parse_records(sample_shard_doc());
+  ASSERT_TRUE(parsed.ok());
+  std::string error;
+
+  // The right records handed to the wrong shard: every diagnostic carries
+  // the shard tag and the offending index.
+  EXPECT_FALSE(exp::verify_shard_records(parsed.records, {0, 3}, error));
+  EXPECT_NE(error.find("shard 0/3"), std::string::npos) << error;
+
+  // A shard file missing its tail (a whole record dropped, parse intact).
+  std::vector<exp::record> short_file = parsed.records;
+  short_file.pop_back();
+  EXPECT_FALSE(exp::verify_shard_records(short_file, {1, 3}, error));
+  EXPECT_NE(error.find("truncated shard file?"), std::string::npos) << error;
+
+  // Records that disagree about their own grid fingerprint.
+  std::vector<exp::record> mixed = parsed.records;
+  for (exp::record_field& f : mixed[1].fields) {
+    if (f.key == "grid") f.text = "zzz999";
+  }
+  EXPECT_FALSE(exp::verify_shard_records(mixed, {1, 3}, error));
+  EXPECT_NE(error.find("corrupted shard file?"), std::string::npos) << error;
+
+  // An index past the declared total.
+  std::vector<exp::record> wild = parsed.records;
+  for (exp::record_field& f : wild[0].fields) {
+    if (f.key == "unit") f.number = 12.0;
+  }
+  EXPECT_FALSE(exp::verify_shard_records(wild, {1, 3}, error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+  // The empty slice is legitimate (a shard can own zero units).
+  EXPECT_TRUE(exp::verify_shard_records({}, {1, 3}, error)) << error;
 }
 
 TEST(BatchFuzz, MalformedLinesReportTheirLineNumber) {

@@ -126,6 +126,85 @@ TEST(SvcWorkerPoolPersistence, ConcurrentClientsSerializeSafely) {
   EXPECT_EQ(pool.batches_run(), kClients);
 }
 
+TEST(SvcWorkerPoolPersistence, ProgressSnapshotsTrackTheBatchLifecycle) {
+  svc::worker_pool pool(3);
+  svc::pool_progress idle = pool.progress();
+  EXPECT_FALSE(idle.active);
+  EXPECT_EQ(idle.batches, 0u);
+  EXPECT_EQ(idle.tasks_total, 0u);
+
+  // Observe the pool mid-batch from outside: workers block on a gate until
+  // the observer has seen an active snapshot with believable counters.
+  std::atomic<bool> release{false};
+  std::atomic<usize> started{0};
+  constexpr usize kTasks = 12;
+  std::jthread observer([&] {
+    while (started.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    const svc::pool_progress mid = pool.progress();
+    EXPECT_TRUE(mid.active);
+    EXPECT_EQ(mid.tasks_total, kTasks);
+    EXPECT_LE(mid.tasks_done, kTasks);
+    EXPECT_GE(mid.batch_seconds, 0.0);
+    release.store(true, std::memory_order_release);
+  });
+  pool.run_indexed(kTasks, [&](usize) {
+    started.fetch_add(1, std::memory_order_acq_rel);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  observer.join();
+
+  const svc::pool_progress after = pool.progress();
+  EXPECT_FALSE(after.active);
+  EXPECT_EQ(after.batches, 1u);
+  EXPECT_EQ(after.tasks_total, 0u);
+}
+
+TEST(SvcWorkerPoolPersistence, InlinePoolReportsProgressToo) {
+  // The serial path updates the same counters, so a single-worker serve
+  // still feeds the heartbeat watchdog: observed from a second thread
+  // while the inline batch runs.
+  svc::worker_pool pool(1);
+  std::atomic<bool> observed{false};
+  std::atomic<bool> in_task{false};
+  std::jthread observer([&] {
+    while (!in_task.load(std::memory_order_acquire)) std::this_thread::yield();
+    const svc::pool_progress mid = pool.progress();
+    EXPECT_TRUE(mid.active);
+    EXPECT_EQ(mid.tasks_total, 4u);
+    observed.store(true, std::memory_order_release);
+  });
+  pool.run_indexed(4, [&](usize) {
+    in_task.store(true, std::memory_order_release);
+    while (!observed.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  observer.join();
+  EXPECT_FALSE(pool.progress().active);
+}
+
+TEST(SvcWorkerPoolPersistence, PoolSurvivesAThrowingJobAndKeepsReporting) {
+  // A job that throws must neither wedge the pool nor corrupt the progress
+  // counters the watchdog reads next.
+  svc::worker_pool pool(3);
+  EXPECT_THROW(pool.run_indexed(9,
+                                [](usize i) {
+                                  if (i == 4) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  const svc::pool_progress after = pool.progress();
+  EXPECT_FALSE(after.active);
+  EXPECT_EQ(after.batches, 1u);
+  std::atomic<usize> ran{0};
+  pool.run_indexed(9, [&ran](usize) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 9u);
+  EXPECT_EQ(pool.progress().batches, 2u);
+}
+
 TEST(SvcWorkerPoolPersistence, SingleWorkerRunsInline) {
   svc::worker_pool pool(1);
   const std::thread::id self = std::this_thread::get_id();

@@ -72,17 +72,33 @@
 //   --jobs=FILE                      serve: read job lines from FILE/FIFO
 //   --once                           serve: exit at the first EOF even on
 //                                    a FIFO (default: stay resident)
+//   --heartbeat-s=T                  serve: log a progress line every T
+//                                    seconds, flagging jobs whose unit
+//                                    counter stopped moving
 //   --to=FILE                        submit: append the job line to FILE
 // Options (dispatch):
 //   --shards=K                       number of shard subprocesses
 //   --retries=R                      re-launch a hard-failed shard up to R
 //                                    times (the partition is deterministic,
 //                                    so only the failed slice reruns)
+//   --deadline-s=T                   wall-clock deadline per shard attempt;
+//                                    on expiry the shard's process group is
+//                                    SIGTERMed, then SIGKILLed, and the
+//                                    attempt counts as a hard failure
+//   --inject=SPEC                    deterministic fault injection (see
+//                                    docs/robustness.md): resolve SPEC per
+//                                    (shard, attempt) and hand each child
+//                                    its action via AMO_FAULT
+//   --resume                         adopt completed shards from the
+//                                    manifest a failed dispatch left behind
+//                                    (content-hash + slice verified);
+//                                    relaunch only the rest
 //   --command=TEMPLATE               launch template; placeholders {self}
 //                                    {args} {shard} {out} (default
 //                                    "{self} {args} --shard={shard} --out={out}")
 //   --dir=D                          directory for the shard files
 //   --keep-shards                    do not delete the per-shard files
+//                                    (nor the resume manifest)
 // Options (diff):
 //   --tol=T                          relative tolerance for work /
 //                                    effectiveness drift (default 0.05)
@@ -123,6 +139,7 @@
 #include "exp/shard.hpp"
 #include "exp/sweep.hpp"
 #include "svc/dispatcher.hpp"
+#include "svc/fault.hpp"
 #include "svc/job.hpp"
 #include "svc/server.hpp"
 #include "svc/worker_pool.hpp"
@@ -151,6 +168,10 @@ struct cli_options {
   std::string command;  ///< dispatch: launch template override
   std::string dir = "."; ///< dispatch: shard-file directory
   bool keep_shards = false;
+  double deadline_s = 0; ///< dispatch: wall-clock deadline per shard attempt
+  std::string inject;    ///< dispatch: fault-injection spec (svc::fault)
+  bool resume = false;   ///< dispatch: adopt completed shards from manifest
+  double heartbeat_s = 0;///< serve: progress watchdog period
   bool once = false;     ///< serve: exit at the first EOF even on a FIFO
   std::vector<std::string> names;  ///< scenario names, or files for merge/diff
 };
@@ -201,6 +222,24 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
         std::fprintf(stderr, "bad tolerance '%s'\n", v);
         return false;
       }
+    } else if (parse_kv(a, "--deadline-s", &v)) {
+      char* end = nullptr;
+      opt.deadline_s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.deadline_s < 0) {
+        std::fprintf(stderr, "bad deadline '%s' (want seconds >= 0)\n", v);
+        return false;
+      }
+    } else if (parse_kv(a, "--heartbeat-s", &v)) {
+      char* end = nullptr;
+      opt.heartbeat_s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.heartbeat_s < 0) {
+        std::fprintf(stderr, "bad heartbeat '%s' (want seconds >= 0)\n", v);
+        return false;
+      }
+    } else if (parse_kv(a, "--inject", &v)) {
+      opt.inject = v;
+    } else if (std::strcmp(a, "--resume") == 0) {
+      opt.resume = true;
     } else if (parse_kv(a, "--out", &v)) {
       opt.out = v;
     } else if (parse_kv(a, "--jobs", &v)) {
@@ -263,7 +302,8 @@ void usage(std::FILE* to) {
       "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R\n"
       "         --replicas=R --pool=P --shard=i/k --scheduled-only\n"
       "         --out=FILE --no-timing --check --quiet --tol=T --jobs=FILE\n"
-      "         --once --to=FILE --shards=K --retries=R --command=TEMPLATE\n"
+      "         --once --heartbeat-s=T --to=FILE --shards=K --retries=R\n"
+      "         --deadline-s=T --inject=SPEC --resume --command=TEMPLATE\n"
       "         --dir=D --keep-shards\n",
       to);
 }
@@ -349,8 +389,13 @@ int run_job(const svc::job& j, const cli_options& opt) {
   }
 
   if (!j.out.empty()) {
-    if (!write_file(j.out.c_str(), result.render_json())) {
-      std::fprintf(stderr, "failed to write %s\n", j.out.c_str());
+    // The fault-aware artifact writer (atomic unless an $AMO_FAULT action
+    // fires): this is the single output point a dispatcher-launched shard
+    // child writes through, keyed by the shard it owns.
+    const std::uint64_t key = j.have_shard ? std::uint64_t{j.shard.index} : 0;
+    std::string werr;
+    if (!svc::write_artifact(j.out.c_str(), result.render_json(), key, werr)) {
+      std::fprintf(stderr, "%s\n", werr.c_str());
       return 2;
     }
     std::printf("[%zu records -> %s]\n",
@@ -393,13 +438,14 @@ int cmd_merge(const cli_options& opt) {
     std::fprintf(stderr, "amo_lab merge: %s\n", merged.error.c_str());
     return 2;
   }
+  std::string werr;
   if (opt.out.empty()) {
     std::fputs(exp::render_records(merged.records).c_str(), stdout);
-  } else if (exp::write_records_file(opt.out.c_str(), merged.records)) {
+  } else if (exp::write_records_file(opt.out.c_str(), merged.records, werr)) {
     std::printf("[%zu cells from %zu shards -> %s]\n", merged.records.size(),
                 shards.size(), opt.out.c_str());
   } else {
-    std::fprintf(stderr, "failed to write %s\n", opt.out.c_str());
+    std::fprintf(stderr, "amo_lab merge: %s\n", werr.c_str());
     return 3;
   }
   return 0;
@@ -452,6 +498,7 @@ int cmd_serve(const cli_options& opt) {
   svc::worker_pool pool(opt.pool);
   svc::server_options sopt;
   sopt.quiet = opt.quiet;
+  sopt.heartbeat_s = opt.heartbeat_s;
   std::fprintf(stderr, "amo_lab serve: pool of %zu workers, reading jobs "
                        "from %s%s\n",
                pool.size(), opt.jobs.empty() ? "stdin" : opt.jobs.c_str(),
@@ -587,6 +634,9 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
   dopt.out = opt.out;
   dopt.keep_shards = opt.keep_shards;
   dopt.quiet = opt.quiet;
+  dopt.deadline_s = opt.deadline_s;
+  dopt.inject = opt.inject;
+  dopt.resume = opt.resume;
 
   const svc::dispatch_result result = svc::dispatch(args, dopt);
   if (!result.ok()) {
@@ -624,6 +674,18 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, 2, opt)) {
     usage(stderr);
     return 2;
+  }
+  // A fault plan in the environment must be well-formed before anything
+  // runs: failing hard here beats silently running fault-free under a
+  // typo'd chaos spec (env_fault_plan alone would warn and ignore it).
+  if (const char* spec = std::getenv("AMO_FAULT");
+      spec != nullptr && *spec != '\0') {
+    svc::fault_plan plan;
+    std::string error;
+    if (!svc::parse_fault_plan(spec, plan, error)) {
+      std::fprintf(stderr, "amo_lab: bad AMO_FAULT spec: %s\n", error.c_str());
+      return 2;
+    }
   }
   try {
     if (cmd == "list") return cmd_list(opt);
