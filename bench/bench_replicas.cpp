@@ -1,56 +1,94 @@
-// Replica-throughput scaling on the persistent pool — the replica layer's
-// claim: a cell's R deterministic replicas are independent schedulable
-// units, so raising --replicas multiplies the parallel work fed to one
-// svc::worker_pool without touching per-unit cost, and the folded
-// aggregate records stay byte-identical at any pool size.
+// Batched replica kernel vs the scalar engine — the batching layer's
+// claim: a cell's R deterministic replicas share one spec decode and one
+// SoA lane arena, so advancing them as a block is cheaper than R scalar
+// runs while every charged op count stays bit-identical.
 //
-// The bench sweeps one fixed scheduled grid at R in {1, 2, 8} on a
-// persistent 4-worker pool, checks the aggregate JSON against the serial
-// pool=1 reference (bit_identical gates in CI), and records wall clock and
-// units/second per R. Deterministic gating fields: duplicates,
-// min_effectiveness, work (sums over the seeded scheduled grid); timing
-// fields are diff-ignored and land in the artifact for the multicore
-// trajectory.
+// The win is schedule-class dependent, so the grids are split by class
+// (scalar-fallback coverage lives in tests/test_batch_parity.cpp):
+//
+//   repl/xR    n=256 m=3  — seed-independent adversaries (round_robin,
+//              stale_view, announce_crash): every replica's schedule is
+//              identical, so the block runs one lane and replicates the
+//              report R ways. Cost is ~1 unit for R, i.e. ~R x. This grid
+//              gates the >= 3x floor at R >= 8.
+//   seeded/xR  n=256 m=3  — seed-dependent adversaries (random,
+//              random+crash, block64): every replica runs its own lane,
+//              so the win is per-step only — the inlined lane driver
+//              replaces the scalar scheduler's virtual decide/step
+//              dispatch and per-step view assembly (~18 ns/step) with a
+//              register-resident decision loop (~8 ns/step). The
+//              automaton itself (~30 ns/step) is shared cost, which caps
+//              this grid near 1.5x; the floor is >= 1.1x at R >= 8.
+//   mix/xR     n=256 m=3  — all six classes, reported for context: the
+//              composition of a real grid decides where between the two
+//              bounds it lands.
+//   bigm/xR    n=256 m=33 — wide-word seeded cells; gates the
+//              "batched >= scalar at m >= 32" floor.
+//
+// Each row runs the same grid twice through the serial sweep path — once
+// with batching forced off (batch=0), once in auto — and reports both
+// units/second figures, their ratio, and whether the no-timing aggregate
+// JSON is byte-identical between the two (bit_identical gates in CI).
 #include <thread>
 
 #include "bench_common.hpp"
+#include "exp/batch.hpp"
 #include "exp/report.hpp"
 #include "exp/shard.hpp"
 #include "exp/sweep.hpp"
-#include "svc/worker_pool.hpp"
 
 namespace {
 
 using namespace amo;
 
-constexpr usize kPool = 4;  ///< fixed: comparable numbers on any host
-constexpr int kReps = 3;    ///< min-of-reps vs 1-core CI noise
+constexpr int kReps = 2;  ///< min-of-reps vs 1-core CI noise
 
-std::vector<exp::run_spec> grid(usize replicas) {
+exp::run_spec cell(const char* label, const char* adv, std::uint64_t seed,
+                   usize m, usize replicas) {
+  exp::run_spec s;
+  s.label = label;
+  s.algo = exp::algo_family::kk;
+  s.n = 256;
+  s.m = m;
+  s.beta = 3;
+  s.crash_budget = 2;
+  s.replicas = replicas;
+  s.adversary = {adv, seed};
+  return s;
+}
+
+/// Seed-independent schedule classes: the block runs once and replicates.
+std::vector<exp::run_spec> repl_grid(usize replicas) {
   std::vector<exp::run_spec> cells;
-  for (const char* adv : {"random", "random+crash"}) {
-    for (const std::uint64_t seed : {1ull, 2ull}) {
-      exp::run_spec s;
-      s.label = std::string("replicas/") + adv;
-      s.algo = exp::algo_family::kk;
-      s.n = 256;
-      s.m = 3;
-      s.beta = 3;
-      s.crash_budget = 2;
-      s.replicas = replicas;
-      s.adversary = {adv, seed * 7919};
-      cells.push_back(std::move(s));
-    }
-  }
-  exp::run_spec iter;
-  iter.label = "replicas/iterative";
-  iter.algo = exp::algo_family::iterative;
-  iter.n = 256;
-  iter.m = 3;
-  iter.eps_inv = 2;
-  iter.replicas = replicas;
-  iter.adversary = {"random", 5};
-  cells.push_back(iter);
+  cells.push_back(cell("batch/round_robin", "round_robin", 1, 3, replicas));
+  cells.push_back(cell("batch/stale_view", "stale_view:2", 2, 3, replicas));
+  cells.push_back(cell("batch/announce_crash", "announce_crash", 3, 3, replicas));
+  return cells;
+}
+
+/// Seed-dependent schedule classes: one lane per replica.
+std::vector<exp::run_spec> seeded_grid(usize replicas) {
+  std::vector<exp::run_spec> cells;
+  cells.push_back(cell("batch/random", "random", 7919, 3, replicas));
+  cells.push_back(cell("batch/random_crash", "random+crash", 15'838, 3, replicas));
+  cells.push_back(cell("batch/block64", "block64", 23'757, 3, replicas));
+  return cells;
+}
+
+/// Every schedule class the classifier knows — what a realistic grid sees.
+std::vector<exp::run_spec> mix_grid(usize replicas) {
+  std::vector<exp::run_spec> cells = repl_grid(replicas);
+  std::vector<exp::run_spec> seeded = seeded_grid(replicas);
+  cells.insert(cells.end(), seeded.begin(), seeded.end());
+  return cells;
+}
+
+/// Wide-word cells: m=33 puts every process set past the word-parallel
+/// threshold, the regime the SoA arena targets.
+std::vector<exp::run_spec> bigm_grid(usize replicas) {
+  std::vector<exp::run_spec> cells;
+  cells.push_back(cell("batch/bigm_random", "random", 7919, 33, replicas));
+  cells.push_back(cell("batch/bigm_block64", "block64", 23'757, 33, replicas));
   return cells;
 }
 
@@ -60,97 +98,119 @@ std::string aggregate_json(const exp::sweep_result& swept, std::uint64_t fp) {
   return json.dump();
 }
 
+/// Serial sweep at a fixed batch width, min wall over kReps.
+exp::sweep_result timed_sweep(const std::vector<exp::run_spec>& cells,
+                              usize batch, double& best) {
+  exp::sweep_options serial;
+  serial.pool_size = 1;
+  exp::sweep_result out;
+  for (int rep = 0; rep < kReps; ++rep) {
+    exp::sweep_result cur =
+        exp::sweep(cells, serial, exp::batch_options{batch});
+    if (rep == 0 || cur.wall_seconds < best) {
+      best = cur.wall_seconds;
+      out = std::move(cur);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
   stopwatch total;
   benchx::print_title(
-      "Replica scaling  (spec x R deterministic replicas on one pool)",
-      "claim: replicas are schedulable units — R multiplies the pool's\n"
-      "parallel work; folded aggregates stay bit-identical at any pool size");
+      "Batched replica kernel  (R lanes of one spec per engine pass)",
+      "claim: replicas of a cell share decode + SoA free words — a batched\n"
+      "pass beats R scalar runs; charged op counts stay bit-identical");
 
   const unsigned hc = std::thread::hardware_concurrency();
-  svc::worker_pool pool(kPool);
 
   benchx::json_report json;
-  text_table t({"replicas", "cells", "units", "wall/sweep", "units/s",
-                "units-vs-x1", "identical?"});
+  text_table t({"grid", "replicas", "units", "scalar u/s", "batched u/s",
+                "speedup", "identical?"});
   bool all_identical = true;
-  usize total_duplicates = 0;
-  double x1_per_unit = 0.0;
+  bool floors_ok = true;
 
-  for (const usize replicas : {usize{1}, usize{2}, usize{8}}) {
-    const std::vector<exp::run_spec> cells = grid(replicas);
-    const usize units = exp::unit_count(cells);
-    const std::uint64_t fp = exp::grid_fingerprint(cells);
+  struct grid_def {
+    const char* name;
+    std::vector<exp::run_spec> (*make)(usize);
+    double floor;  ///< min speedup required at R >= 8; 0 = informational
+  };
+  const grid_def grids[] = {{"repl", &repl_grid, 3.0},
+                            {"seeded", &seeded_grid, 1.1},
+                            {"mix", &mix_grid, 0.0},
+                            {"bigm", &bigm_grid, 1.0}};
 
-    exp::sweep_result pooled;
-    double best = 0.0;
-    for (int rep = 0; rep < kReps; ++rep) {
-      exp::sweep_result cur = exp::sweep(cells, pool);
-      if (rep == 0 || cur.wall_seconds < best) {
-        best = cur.wall_seconds;
-        pooled = std::move(cur);
+  for (const grid_def& g : grids) {
+    for (const usize replicas : {usize{1}, usize{2}, usize{8}, usize{32},
+                                 usize{64}}) {
+      const std::vector<exp::run_spec> cells = g.make(replicas);
+      const usize units = exp::unit_count(cells);
+      const std::uint64_t fp = exp::grid_fingerprint(cells);
+
+      double scalar_wall = 0.0;
+      const exp::sweep_result scalar = timed_sweep(cells, 0, scalar_wall);
+      double batched_wall = 0.0;
+      const exp::sweep_result batched =
+          timed_sweep(cells, exp::batch_auto, batched_wall);
+
+      const bool identical =
+          aggregate_json(batched, fp) == aggregate_json(scalar, fp);
+      all_identical = all_identical && identical;
+
+      const double scalar_ups =
+          scalar_wall > 0 ? units / scalar_wall : 0.0;
+      const double batched_ups =
+          batched_wall > 0 ? units / batched_wall : 0.0;
+      const double speedup =
+          scalar_ups > 0 ? batched_ups / scalar_ups : 0.0;
+      // Floors bind once blocks are wide enough to amortise decode.
+      if (g.floor > 0.0 && replicas >= 8) {
+        floors_ok = floors_ok && speedup >= g.floor;
       }
+
+      usize duplicates = 0;
+      for (const exp::run_report& r : batched.reports) {
+        duplicates += r.perform_events - r.effectiveness;
+      }
+
+      t.add_row({g.name, fmt_count(replicas), fmt_count(units),
+                 fmt_count(static_cast<usize>(scalar_ups)),
+                 fmt_count(static_cast<usize>(batched_ups)),
+                 fmt(speedup, 2) + "x", benchx::yesno(identical)});
+
+      json.add(
+          {{"experiment", benchx::json_report::str("E_batched_replicas")},
+           {"scenario", benchx::json_report::str(std::string(g.name) + "/x" +
+                                                 std::to_string(replicas))},
+           {"replicas", benchx::json_report::num(std::uint64_t{replicas})},
+           {"cells", benchx::json_report::num(std::uint64_t{cells.size()})},
+           {"units", benchx::json_report::num(std::uint64_t{units})},
+           {"hardware_concurrency",
+            benchx::json_report::num(std::uint64_t{hc})},
+           {"duplicates", benchx::json_report::num(std::uint64_t{duplicates})},
+           {"scalar_wall_seconds", benchx::json_report::num(scalar_wall)},
+           {"batched_wall_seconds", benchx::json_report::num(batched_wall)},
+           {"scalar_units_per_second", benchx::json_report::num(scalar_ups)},
+           {"batched_units_per_second", benchx::json_report::num(batched_ups)},
+           {"batched_speedup", benchx::json_report::num(speedup)},
+           {"bit_identical", benchx::json_report::boolean(identical)}});
     }
-
-    exp::sweep_options serial;
-    serial.pool_size = 1;
-    const exp::sweep_result reference = exp::sweep(cells, serial);
-    const bool identical =
-        aggregate_json(pooled, fp) == aggregate_json(reference, fp);
-    all_identical = all_identical && identical;
-
-    usize duplicates = 0;
-    usize work = 0;
-    usize min_effectiveness = ~usize{0};
-    for (const exp::run_report& r : pooled.reports) {
-      duplicates += r.perform_events - r.effectiveness;
-      work += r.total_work.total();
-      min_effectiveness = std::min(min_effectiveness, r.effectiveness);
-    }
-    total_duplicates += duplicates;
-
-    const double per_unit = best / static_cast<double>(units);
-    if (replicas == 1) x1_per_unit = per_unit;
-    const double units_per_second = best > 0 ? units / best : 0.0;
-    t.add_row({fmt_count(replicas), fmt_count(cells.size()), fmt_count(units),
-               fmt(best * 1e3, 2) + "ms", fmt_count(static_cast<usize>(units_per_second)),
-               benchx::ratio(x1_per_unit, per_unit) + "x",
-               benchx::yesno(identical)});
-
-    json.add({{"experiment", benchx::json_report::str("E_replica_scaling")},
-              {"scenario", benchx::json_report::str(
-                               "replicas/x" + std::to_string(replicas))},
-              {"replicas", benchx::json_report::num(std::uint64_t{replicas})},
-              {"cells", benchx::json_report::num(std::uint64_t{cells.size()})},
-              {"units", benchx::json_report::num(std::uint64_t{units})},
-              {"pool", benchx::json_report::num(std::uint64_t{kPool})},
-              {"hardware_concurrency", benchx::json_report::num(std::uint64_t{hc})},
-              {"duplicates", benchx::json_report::num(std::uint64_t{duplicates})},
-              {"min_effectiveness",
-               benchx::json_report::num(std::uint64_t{min_effectiveness})},
-              {"work", benchx::json_report::num(std::uint64_t{work})},
-              {"wall_seconds", benchx::json_report::num(best)},
-              {"units_per_second", benchx::json_report::num(units_per_second)},
-              {"bit_identical", benchx::json_report::boolean(identical)}});
   }
 
   benchx::print_table(t);
-  std::printf("\npool=%zu fixed; units-vs-x1 ~ 1x means replica cost is flat "
-              "(units are independent).\n", kPool);
-  if (hc <= 1) {
-    std::printf("NOTE: single hardware thread — the pool oversubscribes one "
-                "core; run on a multicore host (or see CI) for the scaling "
-                "numbers.\n");
-  }
+  std::printf("\nserial sweeps (pool=1): speedup isolates the kernel, not "
+              "thread scheduling.\nrepl = run-once-replicate classes; "
+              "seeded = one lane per replica; mix = all six;\nbigm = m=33 "
+              "wide-word cells.\n");
 
   if (json.write("BENCH_replicas.json")) {
     std::printf("[%zu records -> BENCH_replicas.json]\n", json.size());
   }
-  std::printf("\n[bench_replicas done in %.1fs; duplicates %zu, "
-              "bit-identical %s]\n",
-              total.seconds(), total_duplicates,
-              benchx::yesno(all_identical).c_str());
-  return (total_duplicates == 0 && all_identical) ? 0 : 1;
+  std::printf("\n[bench_replicas done in %.1fs; bit-identical %s, floors "
+              "(R>=8: repl>=3x, seeded>=1.1x, bigm>=1x) %s]\n",
+              total.seconds(), benchx::yesno(all_identical).c_str(),
+              benchx::yesno(floors_ok).c_str());
+  return (all_identical && floors_ok) ? 0 : 1;
 }

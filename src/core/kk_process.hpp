@@ -52,14 +52,24 @@ class kk_process final : public automaton {
 
   /// Process over the full job universe [1..mem.num_jobs()].
   kk_process(M& mem, const kk_config& cfg, perform_fn fn, kk_hooks hooks = {})
-      : kk_process(mem, cfg, std::span<const job_id>{}, true, std::move(fn),
-                   std::move(hooks)) {}
+      : kk_process(mem, cfg, FS::full(static_cast<job_id>(mem.num_jobs())),
+                   std::move(fn), std::move(hooks)) {}
 
   /// Process whose initial FREE set is `input_jobs` (strictly ascending ids
   /// within [1..mem.num_jobs()]); this is how IterStepKK seeds each level.
   kk_process(M& mem, const kk_config& cfg, std::span<const job_id> input_jobs,
              perform_fn fn, kk_hooks hooks = {})
-      : kk_process(mem, cfg, input_jobs, false, std::move(fn), std::move(hooks)) {}
+      : kk_process(mem, cfg,
+                   FS(static_cast<job_id>(mem.num_jobs()), input_jobs),
+                   std::move(fn), std::move(hooks)) {}
+
+  /// Process adopting a pre-built FREE set over [1..mem.num_jobs()] — this is
+  /// how the batched replica engine hands each process a lane view of a
+  /// shared SoA arena (see sets/lane_free_set.hpp). The set must already
+  /// contain exactly the process's initial FREE jobs; set_counter is rebound
+  /// here, so accumulate no charged work through it beforehand.
+  kk_process(M& mem, const kk_config& cfg, FS free_set, perform_fn fn,
+             kk_hooks hooks = {});
 
   kk_process(const kk_process&) = delete;
   kk_process& operator=(const kk_process&) = delete;
@@ -98,9 +108,6 @@ class kk_process final : public automaton {
   }
 
  private:
-  kk_process(M& mem, const kk_config& cfg, std::span<const job_id> input_jobs,
-             bool full_universe, perform_fn fn, kk_hooks hooks);
-
   [[nodiscard]] op_counter& work() { return stats_.work; }
 
   /// compNext's interval arithmetic (Fig. 2): the 1-based rank inside
@@ -176,9 +183,8 @@ class kk_process final : public automaton {
 
 template <class M, rank_set FS>
   requires kk_memory<M>
-kk_process<M, FS>::kk_process(M& mem, const kk_config& cfg,
-                              std::span<const job_id> input_jobs,
-                              bool full_universe, perform_fn fn, kk_hooks hooks)
+kk_process<M, FS>::kk_process(M& mem, const kk_config& cfg, FS free_set,
+                              perform_fn fn, kk_hooks hooks)
     : mem_(mem),
       pid_(cfg.pid),
       m_(cfg.num_processes),
@@ -188,14 +194,14 @@ kk_process<M, FS>::kk_process(M& mem, const kk_config& cfg,
       universe_(mem.num_jobs()),
       status_(cfg.mode == kk_mode::plain ? kk_status::comp_next
                                          : kk_status::flag_poll),
-      free_(full_universe ? FS::full(static_cast<job_id>(universe_))
-                          : FS(static_cast<job_id>(universe_), input_jobs)),
+      free_(std::move(free_set)),
       done_(static_cast<job_id>(universe_)),
       pos_(m_ + 1, 1),
       perform_(std::move(fn)),
       hooks_(std::move(hooks)) {
   assert(pid_ >= 1 && pid_ <= m_);
   assert(m_ == mem.num_processes());
+  assert(free_.universe() == universe_);
   free_.set_counter(&stats_.work);
   done_.set_counter(&stats_.work);
   try_.set_counter(&stats_.work);

@@ -1,7 +1,9 @@
 #include "exp/diff.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 
 namespace amo::exp {
@@ -260,6 +262,212 @@ bool index_records(const std::vector<record>& records, const char* side,
   return true;
 }
 
+// ----- replica-distribution gate (--dist-test) -----------------------------
+
+/// Minimum per-side sample size for the rank tests: below this the normal
+/// approximation (and the KS asymptotic) are meaningless, so groups with
+/// fewer replicas are skipped rather than tested badly.
+constexpr usize kDistMinSamples = 4;
+
+/// Two-sided p-value of a standard-normal z score: 2 * (1 - Phi(|z|)).
+double normal_two_sided_p(double z) {
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+/// Mann-Whitney U two-sided p for samples a vs b, normal approximation with
+/// tie correction and continuity correction. `shift` is the rank-biserial
+/// direction in [-0.5, 0.5]: > 0 means b (the candidate) tends larger.
+/// Returns 1.0 when every value is tied (zero variance).
+double mann_whitney_p(const std::vector<double>& a,
+                      const std::vector<double>& b, double& shift) {
+  const usize n1 = a.size();
+  const usize n2 = b.size();
+  const usize n = n1 + n2;
+  std::vector<std::pair<double, bool>> all;  // value, is-candidate
+  all.reserve(n);
+  for (const double v : a) all.emplace_back(v, false);
+  for (const double v : b) all.emplace_back(v, true);
+  std::sort(all.begin(), all.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  // Average ranks over tie groups; accumulate sum(t^3 - t) for the variance
+  // correction and the baseline side's rank sum.
+  double r1 = 0.0;
+  double tie_term = 0.0;
+  usize i = 0;
+  while (i < n) {
+    usize j = i;
+    while (j < n && all[j].first == all[i].first) ++j;
+    const double t = static_cast<double>(j - i);
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (usize k = i; k < j; ++k) {
+      if (!all[k].second) r1 += avg_rank;
+    }
+    tie_term += t * t * t - t;
+    i = j;
+  }
+
+  const double fn1 = static_cast<double>(n1);
+  const double fn2 = static_cast<double>(n2);
+  const double fn = static_cast<double>(n);
+  const double u1 = r1 - fn1 * (fn1 + 1.0) / 2.0;  // pairs baseline beats
+  const double mu = fn1 * fn2 / 2.0;
+  shift = (mu - u1) / (fn1 * fn2);  // > 0: candidate tends larger
+  const double var =
+      fn1 * fn2 / 12.0 * ((fn + 1.0) - tie_term / (fn * (fn - 1.0)));
+  if (var <= 0.0) return 1.0;  // all values tied: no distribution to compare
+  double num = u1 - mu;
+  if (num > 0.5) {
+    num -= 0.5;  // continuity correction
+  } else if (num < -0.5) {
+    num += 0.5;
+  } else {
+    num = 0.0;
+  }
+  return normal_two_sided_p(num / std::sqrt(var));
+}
+
+/// Two-sample Kolmogorov-Smirnov asymptotic p (the Q_KS series with the
+/// small-sample effective-size correction). Sorts copies of both samples.
+double ks_two_sample_p(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double fn1 = static_cast<double>(a.size());
+  const double fn2 = static_cast<double>(b.size());
+  double d = 0.0;
+  usize i = 0;
+  usize j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= v) ++i;
+    while (j < b.size() && b[j] <= v) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / fn1 -
+                             static_cast<double>(j) / fn2));
+  }
+  const double ne = fn1 * fn2 / (fn1 + fn2);
+  const double lam =
+      (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  // The Q_KS series only converges for lam away from 0; below that the
+  // distributions are indistinguishable anyway (p -> 1). Same guard as the
+  // classic probks(): a series that fails to converge means p = 1.
+  if (lam < 0.3) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  bool converged = false;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::exp(-2.0 * lam * lam * k * k);
+    sum += sign * term;
+    if (term < 1e-10) {
+      converged = true;
+      break;
+    }
+    sign = -sign;
+  }
+  return converged ? std::clamp(sum, 0.0, 1.0) : 1.0;
+}
+
+/// Per-cell replica samples: field name -> values in replica order.
+using metric_samples = std::map<std::string, std::vector<double>>;
+
+/// The key under which a per-unit record's metrics join a replica sample:
+/// the identity fields minus "replica" and minus "seed" — a per-unit
+/// record's seed is exp::replica_seed(base, replica), i.e. a function of
+/// the replica index, so keeping it would make every replica its own
+/// singleton group — plus the grid "cell" position, which separates cells
+/// of a seed sweep that echo identical specs apart from the base seed.
+/// (The exact diff deliberately matches cells without their grid position;
+/// the dist gate trades that reordering freedom for seed-sweep safety —
+/// a reordered grid makes groups silently unmatched, never mispooled.)
+std::string dist_group_key(const record& rec) {
+  std::string key;
+  for (const record_field& f : rec.fields) {
+    const bool is_cell = f.key == "cell";
+    if (!is_cell) {
+      if (f.key == "seed" || f.key == "replica") continue;
+      if (classify_field(f.key) != field_class::identity) continue;
+    }
+    if (!key.empty()) key += ' ';
+    key += f.key;
+    key += '=';
+    key += f.type == record_field::kind::string ? f.text : f.raw;
+  }
+  return key;
+}
+
+/// Collects per-replica values of every tolerance-gated numeric metric,
+/// grouped by dist_group_key. Records without a replica field (aggregate
+/// cell records) don't form distributions and are skipped.
+std::map<std::string, metric_samples> collect_replica_samples(
+    const std::vector<record>& records) {
+  std::map<std::string, metric_samples> groups;
+  for (const record& rec : records) {
+    if (rec.find("replica") == nullptr) continue;
+    metric_samples& group = groups[dist_group_key(rec)];
+    for (const record_field& f : rec.fields) {
+      if (f.type != record_field::kind::number) continue;
+      const field_class cls = classify_field(f.key);
+      if (cls != field_class::lower_worse && cls != field_class::higher_worse) {
+        continue;
+      }
+      group[f.key].push_back(f.number);
+    }
+  }
+  return groups;
+}
+
+/// Runs the rank tests on every matched replica group and appends the
+/// significant shifts to the report, severity-keyed by metric direction.
+void run_dist_tests(const std::vector<record>& baseline,
+                    const std::vector<record>& candidate,
+                    const diff_options& opt, diff_report& out) {
+  const std::map<std::string, metric_samples> base_groups =
+      collect_replica_samples(baseline);
+  const std::map<std::string, metric_samples> cand_groups =
+      collect_replica_samples(candidate);
+
+  for (const auto& [key, base_metrics] : base_groups) {
+    const auto cg = cand_groups.find(key);
+    if (cg == cand_groups.end()) continue;  // vanished cells already gate
+    ++out.dist_groups;
+    for (const auto& [field, base_vals] : base_metrics) {
+      const auto cf = cg->second.find(field);
+      if (cf == cg->second.end()) continue;  // removal already gates
+      const std::vector<double>& cand_vals = cf->second;
+      if (base_vals.size() < kDistMinSamples ||
+          cand_vals.size() < kDistMinSamples) {
+        continue;
+      }
+
+      dist_finding f;
+      f.key = key;
+      f.field = field;
+      f.n_baseline = base_vals.size();
+      f.n_candidate = cand_vals.size();
+      f.mw_p = mann_whitney_p(base_vals, cand_vals, f.shift);
+      f.ks_p = ks_two_sample_p(base_vals, cand_vals);
+      if (std::min(f.mw_p, f.ks_p) >= opt.dist_alpha) continue;
+
+      const field_class cls = classify_field(field);
+      const bool worse = (cls == field_class::lower_worse && f.shift < 0.0) ||
+                         (cls == field_class::higher_worse && f.shift > 0.0);
+      const char* direction =
+          f.shift > 0.0 ? "higher" : (f.shift < 0.0 ? "lower" : "in shape");
+      f.severity = worse ? diff_severity::regression : diff_severity::info;
+      char note[160];
+      std::snprintf(note, sizeof note,
+                    "%s distribution shifted %s%s (MW p=%.2g, KS p=%.2g, "
+                    "n=%zu vs %zu)",
+                    field.c_str(), direction,
+                    worse ? "" : " (not the worse direction)", f.mw_p, f.ks_p,
+                    f.n_baseline, f.n_candidate);
+      f.note = note;
+      raise(out.severity, f.severity);
+      out.dist.push_back(std::move(f));
+    }
+  }
+}
+
 }  // namespace
 
 const char* to_string(diff_severity s) {
@@ -342,6 +550,7 @@ diff_report report_diff(const std::vector<record>& baseline,
       raise(out.severity, diff_severity::info);
     }
   }
+  if (opt.dist_test) run_dist_tests(baseline, candidate, opt, out);
   return out;
 }
 
@@ -366,6 +575,10 @@ std::string format_diff(const diff_report& report) {
              fd.note + "]\n";
     }
   }
+  for (const dist_finding& df : report.dist) {
+    out += std::string(to_string(df.severity)) + "  dist  " + df.key + "\n";
+    out += "    " + df.note + "\n";
+  }
   char tail[160];
   std::snprintf(tail, sizeof tail,
                 "%zu cells matched, %zu changed, %zu only-baseline, "
@@ -374,6 +587,14 @@ std::string format_diff(const diff_report& report) {
                 report.only_baseline.size(), report.only_candidate.size(),
                 to_string(report.severity));
   out += tail;
+  if (report.dist_groups > 0 || !report.dist.empty()) {
+    char dline[96];
+    std::snprintf(dline, sizeof dline,
+                  "dist-test: %zu replica groups compared, %zu significant "
+                  "shifts\n",
+                  report.dist_groups, report.dist.size());
+    out += dline;
+  }
   return out;
 }
 

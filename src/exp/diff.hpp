@@ -66,13 +66,43 @@ struct diff_options {
   /// Relative tolerance for the lower_worse / higher_worse classes:
   /// candidate in [baseline*(1-tol), baseline*(1+tol)] never gates.
   double tolerance = 0.05;
+  /// Opt-in replica-distribution gate (amo_lab diff --dist-test): per-unit
+  /// records of one cell (same identity, replica=1..R) form a sample of
+  /// each metric; the gate compares the baseline and candidate samples with
+  /// a Mann-Whitney U rank test and a two-sample Kolmogorov-Smirnov test.
+  /// The per-record tolerance above can hide a systematic drift — R small
+  /// regressions of 3% each pass a 5% gate one by one, but a consistent
+  /// rank shift across the whole replica sample is exactly what a rank test
+  /// detects. Severity stays keyed to the metric's direction: a significant
+  /// shift toward the worse side of a gated metric is a regression; a shift
+  /// toward the better side, or a pure shape change, is info.
+  bool dist_test = false;
+  /// Two-sided significance threshold: a finding is raised when either
+  /// test's p-value falls below this.
+  double dist_alpha = 0.01;
+};
+
+/// One significant distribution shift found by the --dist-test gate.
+struct dist_finding {
+  std::string key;    ///< cell identity with the replica component stripped
+  std::string field;  ///< the metric whose replica sample shifted
+  usize n_baseline = 0;  ///< sample sizes (replicas with the field present)
+  usize n_candidate = 0;
+  double mw_p = 1.0;  ///< Mann-Whitney two-sided p (normal approx., tie-corrected)
+  double ks_p = 1.0;  ///< Kolmogorov-Smirnov two-sample p (asymptotic)
+  double shift = 0.0; ///< rank-biserial direction in [-0.5, 0.5]; > 0 means
+                      ///< the candidate sample tends larger
+  diff_severity severity = diff_severity::info;
+  std::string note;   ///< human-readable finding
 };
 
 struct diff_report {
   std::vector<record_delta> changed;       ///< cells with at least one delta
   std::vector<std::string> only_baseline;  ///< identity keys that vanished
   std::vector<std::string> only_candidate; ///< identity keys that appeared
+  std::vector<dist_finding> dist;          ///< --dist-test findings (if on)
   usize matched = 0;                       ///< cells present on both sides
+  usize dist_groups = 0;  ///< replica groups the dist gate compared
   diff_severity severity = diff_severity::clean;
   std::string error;  ///< structural impossibility (duplicate identity key)
 

@@ -11,6 +11,7 @@
 #include "baselines/write_all_baselines.hpp"
 #include "core/iterative_kk.hpp"
 #include "core/wa_iterative_kk.hpp"
+#include "exp/harvest.hpp"
 #include "mem/atomic_memory.hpp"
 #include "mem/sim_memory.hpp"
 #include "model/explorer.hpp"
@@ -30,41 +31,8 @@ namespace {
   throw std::invalid_argument("exp::run: " + why);
 }
 
-void echo_spec(run_report& rep, const run_spec& s) {
-  rep.label = s.label;
-  rep.algo = s.algo;
-  rep.driver = s.driver;
-  rep.memory = s.memory;
-  rep.free_set = s.free_set;
-  rep.n = s.n;
-  rep.m = s.m;
-  rep.beta = s.beta == 0 ? s.m : s.beta;
-  rep.eps_inv = s.eps_inv;
-  rep.crash_budget = s.crash_budget;
-}
-
-void harvest_checker(run_report& rep, const amo_checker& checker) {
-  rep.effectiveness = checker.distinct();
-  rep.perform_events = checker.total_events();
-  rep.at_most_once = checker.ok();
-  rep.duplicate = checker.first_duplicate();
-}
-
-/// Aggregates KK_beta per-process tallies; shared by every memory backend
-/// and driver, which is exactly the duplication the legacy harnesses had.
-template <class Proc>
-void harvest_kk(run_report& rep, const std::vector<std::unique_ptr<Proc>>& procs) {
-  usize stopped = 0;
-  for (const auto& p : procs) {
-    rep.per_process.push_back(p->stats());
-    rep.total_work += p->stats().work;
-    rep.total_collisions +=
-        p->stats().collisions_try + p->stats().collisions_done;
-    if (p->status() == kk_status::end) ++rep.terminated;
-    if (p->status() == kk_status::stop) ++stopped;
-  }
-  rep.crashes = stopped;
-}
+// echo_spec / harvest_checker / harvest_kk live in exp/harvest.hpp, shared
+// with the batched replica engine (exp/batch.cpp).
 
 template <class Proc>
 void harvest_iter(run_report& rep, const std::vector<std::unique_ptr<Proc>>& procs) {

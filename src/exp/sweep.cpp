@@ -8,19 +8,77 @@
 
 namespace amo::exp {
 
+namespace {
+
+/// One pool task: units[first .. first+count). count > 1 only for a replica
+/// block of one batchable cell.
+struct unit_task {
+  usize first = 0;
+  usize count = 1;
+};
+
+/// Groups the unit list into pool tasks: maximal runs of consecutive units
+/// of the same batchable cell become replica blocks (capped at the batch
+/// width), everything else stays a single scalar unit. Grouping is a pure
+/// function of (units, cells, batch), so every shard slices into the same
+/// blocks wherever its units are adjacent.
+std::vector<unit_task> plan_unit_tasks(const std::vector<run_spec>& cells,
+                                       const std::vector<unit_ref>& units,
+                                       const batch_options& batch) {
+  std::vector<unit_task> tasks;
+  tasks.reserve(units.size());
+  const usize width = batch.batch_replicas;
+  usize i = 0;
+  while (i < units.size()) {
+    usize j = i + 1;
+    if (width > 1 && batchable(cells[units[i].cell])) {
+      while (j < units.size() && units[j].cell == units[i].cell &&
+             j - i < width) {
+        ++j;
+      }
+    }
+    tasks.push_back({i, j - i});
+    i = j;
+  }
+  return tasks;
+}
+
+}  // namespace
+
 unit_run_result run_units(const std::vector<run_spec>& cells,
                           const std::vector<unit_ref>& units,
-                          svc::worker_pool& pool) {
+                          svc::worker_pool& pool, const batch_options& batch) {
   unit_run_result out;
   out.reports.resize(units.size());
-  out.pool_size = pool.run_indexed(units.size(), [&](usize i) {
-    const unit_ref& u = units[i];
-    out.reports[i] = run(replica_spec(cells[u.cell], u.replica));
+  const std::vector<unit_task> tasks = plan_unit_tasks(cells, units, batch);
+  out.pool_size = pool.run_indexed(tasks.size(), [&](usize t) {
+    const unit_task& tk = tasks[t];
+    if (tk.count == 1) {
+      const unit_ref& u = units[tk.first];
+      out.reports[tk.first] = run(replica_spec(cells[u.cell], u.replica));
+      return;
+    }
+    std::vector<usize> replicas(tk.count);
+    for (usize k = 0; k < tk.count; ++k) {
+      replicas[k] = units[tk.first + k].replica;
+    }
+    std::vector<run_report> block =
+        run_replica_block(cells[units[tk.first].cell], replicas);
+    for (usize k = 0; k < tk.count; ++k) {
+      out.reports[tk.first + k] = std::move(block[k]);
+    }
   });
   return out;
 }
 
-sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
+unit_run_result run_units(const std::vector<run_spec>& cells,
+                          const std::vector<unit_ref>& units,
+                          svc::worker_pool& pool) {
+  return run_units(cells, units, pool, batch_options{});
+}
+
+sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool,
+                   const batch_options& batch) {
   sweep_result out;
   out.cells.reserve(cells.size());
 
@@ -38,7 +96,7 @@ sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
   }
 
   stopwatch clock;
-  unit_run_result ur = run_units(cells, units, pool);
+  unit_run_result ur = run_units(cells, units, pool, batch);
   out.reports = std::move(ur.reports);
   out.pool_size = ur.pool_size;
   out.wall_seconds = clock.seconds();
@@ -50,9 +108,18 @@ sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
   return out;
 }
 
-sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt) {
+sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool) {
+  return sweep(cells, pool, batch_options{});
+}
+
+sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt,
+                   const batch_options& batch) {
   svc::worker_pool pool(opt.pool_size);
-  return sweep(cells, pool);
+  return sweep(cells, pool, batch);
+}
+
+sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt) {
+  return sweep(cells, opt, batch_options{});
 }
 
 }  // namespace amo::exp

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "exp/batch.hpp"
 #include "exp/shard.hpp"
 #include "exp/stats.hpp"
 
@@ -67,6 +68,15 @@ sweep_result sweep(const std::vector<run_spec>& cells,
 /// here). Byte-identical reports to the options form at any pool size.
 sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool);
 
+/// Batching-control variants. `batch` is an execution option only — reports
+/// are bit-identical at every batch width, including width 0 (scalar); the
+/// parameterless forms above default to batch_options{} (auto, i.e.
+/// batching on wherever a cell is batchable). See exp/batch.hpp.
+sweep_result sweep(const std::vector<run_spec>& cells, const sweep_options& opt,
+                   const batch_options& batch);
+sweep_result sweep(const std::vector<run_spec>& cells, svc::worker_pool& pool,
+                   const batch_options& batch);
+
 struct unit_run_result {
   std::vector<run_report> reports;  ///< reports[i] corresponds to units[i]
   usize pool_size = 0;              ///< workers actually used
@@ -81,5 +91,16 @@ struct unit_run_result {
 unit_run_result run_units(const std::vector<run_spec>& cells,
                           const std::vector<unit_ref>& units,
                           svc::worker_pool& pool);
+
+/// Batching-control variant of the unit kernel. Consecutive units of the
+/// same batchable cell (consecutive same-cell units are adjacent in every
+/// shard_units output — slices are strided ascending over the cell-major
+/// unit space) are grouped into replica blocks of at most
+/// batch.batch_replicas lanes and executed by exp::run_replica_block as one
+/// pool task; everything else runs scalar. Reports are bit-identical to the
+/// scalar path at any width, so the sharded merge contract is unaffected.
+unit_run_result run_units(const std::vector<run_spec>& cells,
+                          const std::vector<unit_ref>& units,
+                          svc::worker_pool& pool, const batch_options& batch);
 
 }  // namespace amo::exp

@@ -48,15 +48,7 @@ bitset_rank_set::bitset_rank_set(job_id universe)
                 fanout,
             0),
       sgcum_(windows(windows(windows(num_words_, fanout), fanout), fanout), 0),
-      hops_(num_words_, 0) {
-  // hops_[w] = length of the reference Fenwick update chain from word w:
-  // i = w+1, then i += lowbit(i) while i <= num_words. Built back-to-front
-  // so each entry is one step plus its successor's count.
-  for (usize w = num_words_; w-- > 0;) {
-    const usize next = (w + 1) + ((w + 1) & (~(w + 1) + 1));  // 1-based
-    hops_[w] = static_cast<std::uint8_t>(
-        1 + (next <= num_words_ ? hops_[next - 1] : 0));
-  }
+      hops_(bits::build_fenwick_hops(num_words_)) {
   rebuild_counts();  // establishes the padding bases
 }
 

@@ -1,25 +1,8 @@
 #include "sets/try_set.hpp"
 
-#include <algorithm>
 #include <cassert>
 
-#include "util/math.hpp"
-
 namespace amo {
-
-usize try_set::lower_bound(job_id j) const {
-  usize lo = 0;
-  usize hi = entries_.size();
-  while (lo < hi) {
-    const usize mid = lo + (hi - lo) / 2;
-    if (entries_[mid].job < j) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
 
 void try_set::bind_universe(job_id universe) {
   assert(universe >= 1);
@@ -30,74 +13,6 @@ void try_set::bind_universe(job_id universe) {
   gen_ = 1;
   occupied_.clear();
   for (const entry& e : entries_) shadow_set(e.job);
-}
-
-void try_set::shadow_set(job_id j) {
-  assert(j >= 1 && j <= shadow_universe_);
-  const usize w = (static_cast<usize>(j) - 1) / 64;
-  if (word_gen_[w] != gen_) {
-    word_gen_[w] = gen_;
-    shadow_[w] = 0;
-    occupied_.push_back(static_cast<std::uint32_t>(w));
-  }
-  shadow_[w] |= std::uint64_t{1} << ((j - 1) % 64);
-}
-
-void try_set::clear() {
-  entries_.clear();
-  occupied_.clear();
-  if (shadow_universe_ != 0) {
-    // O(1) shadow reset: advancing the generation invalidates every word;
-    // shadow_set lazily zeroes a word the first time a new generation
-    // touches it. On the (rare) wrap, start the stamps over.
-    if (++gen_ == 0) {
-      std::fill(word_gen_.begin(), word_gen_.end(), 0u);
-      gen_ = 1;
-    }
-  }
-}
-
-bool try_set::insert(job_id j, process_id announcer) {
-  const usize pos = lower_bound(j);
-  charge(clamped_log2(entries_.size() + 1));
-  if (pos < entries_.size() && entries_[pos].job == j) {
-    entries_[pos].announcer = announcer;
-    return false;
-  }
-  charge(entries_.size() - pos + 1);  // shift cost of the vector insert
-  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
-                  entry{j, announcer});
-  if (shadow_universe_ != 0) shadow_set(j);
-  return true;
-}
-
-bool try_set::contains(job_id j) const {
-  charge(clamped_log2(entries_.size() + 1));
-  const usize pos = lower_bound(j);
-  return pos < entries_.size() && entries_[pos].job == j;
-}
-
-bool try_set::peek(job_id j) const {
-  if (shadow_universe_ != 0) {
-    if (j < 1 || j > shadow_universe_) return false;
-    const usize w = (static_cast<usize>(j) - 1) / 64;
-    if (word_gen_[w] != gen_) return false;  // stale word: empty this gen
-    return (shadow_[w] >> ((j - 1) % 64)) & 1u;
-  }
-  const usize pos = lower_bound(j);
-  return pos < entries_.size() && entries_[pos].job == j;
-}
-
-usize try_set::count_le(job_id j) const {
-  // First index with job > j == number of entries <= j.
-  if (j == ~job_id{0}) return entries_.size();
-  return lower_bound(j + 1);
-}
-
-process_id try_set::announcer_of(job_id j) const {
-  const usize pos = lower_bound(j);
-  if (pos < entries_.size() && entries_[pos].job == j) return entries_[pos].announcer;
-  return 0;
 }
 
 }  // namespace amo

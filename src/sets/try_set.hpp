@@ -17,10 +17,13 @@
 // charges the op_counter and never changes observable membership.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/math.hpp"
 #include "util/op_counter.hpp"
 #include "util/types.hpp"
 
@@ -58,28 +61,67 @@ class try_set {
     return occupied_;
   }
 
+  // The per-step operations are defined inline below the class: the KK
+  // automaton touches TRY on nearly every action, and |TRY| < m keeps each
+  // of them a handful of instructions — call overhead would dominate.
+
   /// Resets to empty (compNext does this on every invocation). O(1): the
   /// shadow generation advances, invalidating every occupied word at once.
-  void clear();
+  void clear() {
+    entries_.clear();
+    occupied_.clear();
+    if (shadow_universe_ != 0) {
+      // O(1) shadow reset: advancing the generation invalidates every word;
+      // shadow_set lazily zeroes a word the first time a new generation
+      // touches it. On the (rare) wrap, start the stamps over.
+      if (++gen_ == 0) {
+        std::fill(word_gen_.begin(), word_gen_.end(), 0u);
+        gen_ = 1;
+      }
+    }
+  }
 
   /// Inserts (job, announcer); if the job is already present the announcer
   /// is refreshed to the most recent reader observation. Returns true if the
   /// job was new.
   bool insert(job_id j, process_id announcer);
 
-  [[nodiscard]] bool contains(job_id j) const;
+  [[nodiscard]] bool contains(job_id j) const {
+    charge(clamped_log2(entries_.size() + 1));
+    const usize pos = lower_bound(j);
+    return pos < entries_.size() && entries_[pos].job == j;
+  }
 
   /// Uncharged membership probe for cache-maintenance bookkeeping: O(1) via
   /// the shadow bitmap when bound, binary search otherwise. Never touches
   /// the op_counter — callers use it for invalidation decisions that the
   /// paper's cost model does not see.
-  [[nodiscard]] bool peek(job_id j) const;
+  [[nodiscard]] bool peek(job_id j) const {
+    if (shadow_universe_ != 0) {
+      if (j < 1 || j > shadow_universe_) return false;
+      const usize w = (static_cast<usize>(j) - 1) / 64;
+      if (word_gen_[w] != gen_) return false;  // stale word: empty this gen
+      return (shadow_[w] >> ((j - 1) % 64)) & 1u;
+    }
+    const usize pos = lower_bound(j);
+    return pos < entries_.size() && entries_[pos].job == j;
+  }
 
   /// Number of entries with job <= j (uncharged, O(log m)).
-  [[nodiscard]] usize count_le(job_id j) const;
+  [[nodiscard]] usize count_le(job_id j) const {
+    // First index with job > j == number of entries <= j.
+    if (j == ~job_id{0}) return entries_.size();
+    return lower_bound(j + 1);
+  }
 
   /// Announcer recorded for job j, or 0 if j is absent.
-  [[nodiscard]] process_id announcer_of(job_id j) const;
+  [[nodiscard]] process_id announcer_of(job_id j) const {
+    const usize pos = lower_bound(j);
+    if (pos < entries_.size() && entries_[pos].job == j) {
+      return entries_[pos].announcer;
+    }
+    return 0;
+  }
 
   [[nodiscard]] usize size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
@@ -91,10 +133,32 @@ class try_set {
   void charge(usize units) const {
     if (oc_ != nullptr) oc_->local_ops += units;
   }
-  /// Index of first entry with job >= j.
-  [[nodiscard]] usize lower_bound(job_id j) const;
 
-  void shadow_set(job_id j);
+  /// Index of first entry with job >= j.
+  [[nodiscard]] usize lower_bound(job_id j) const {
+    usize lo = 0;
+    usize hi = entries_.size();
+    while (lo < hi) {
+      const usize mid = lo + (hi - lo) / 2;
+      if (entries_[mid].job < j) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void shadow_set(job_id j) {
+    assert(j >= 1 && j <= shadow_universe_);
+    const usize w = (static_cast<usize>(j) - 1) / 64;
+    if (word_gen_[w] != gen_) {
+      word_gen_[w] = gen_;
+      shadow_[w] = 0;
+      occupied_.push_back(static_cast<std::uint32_t>(w));
+    }
+    shadow_[w] |= std::uint64_t{1} << ((j - 1) % 64);
+  }
 
   std::vector<entry> entries_;
   std::vector<std::uint64_t> shadow_;    // bit (j-1) set <=> j in set
@@ -104,5 +168,19 @@ class try_set {
   job_id shadow_universe_ = 0;
   op_counter* oc_ = nullptr;
 };
+
+inline bool try_set::insert(job_id j, process_id announcer) {
+  const usize pos = lower_bound(j);
+  charge(clamped_log2(entries_.size() + 1));
+  if (pos < entries_.size() && entries_[pos].job == j) {
+    entries_[pos].announcer = announcer;
+    return false;
+  }
+  charge(entries_.size() - pos + 1);  // shift cost of the vector insert
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  entry{j, announcer});
+  if (shadow_universe_ != 0) shadow_set(j);
+  return true;
+}
 
 }  // namespace amo

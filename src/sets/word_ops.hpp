@@ -19,6 +19,9 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
 
 #if defined(__BMI2__)
 #include <immintrin.h>
@@ -100,6 +103,42 @@ inline unsigned select_in_word(std::uint64_t x, unsigned k) {
   if (!g_force_portable_select) return select_in_word_pdep(x, k);
 #endif
   return select_in_word_portable(x, k);
+}
+
+// ----- charge-model tables and lane-plane (SoA) kernels --------------------
+// Shared by bitset_rank_set (one lane) and lane_free_set (R replica lanes of
+// the batched engine, words laid out lane-major as words[lane * num_words + w]
+// so each lane's bitmap is one contiguous row of the arena plane). Everything
+// here is portable scalar code — no ISA assumption beyond std::popcount —
+// because the batched kernel must run identically on the AMO_ENABLE_SIMD=OFF
+// build.
+
+/// hops[w] = length of the reference Fenwick update chain from word w:
+/// i = w+1, then i += lowbit(i) while i <= num_words. This is the exact
+/// per-update charge of the reference implementation, tabled because the
+/// chain walk is a serial dependency too slow for the update hot path.
+/// Built back-to-front so each entry is one step plus its successor's count.
+inline std::vector<std::uint8_t> build_fenwick_hops(usize num_words) {
+  std::vector<std::uint8_t> hops(num_words, 0);
+  for (usize w = num_words; w-- > 0;) {
+    const usize next = (w + 1) + ((w + 1) & (~(w + 1) + 1));  // 1-based
+    hops[w] =
+        static_cast<std::uint8_t>(1 + (next <= num_words ? hops[next - 1] : 0));
+  }
+  return hops;
+}
+
+/// Fills every lane's bitmap with the full universe: one all-ones pass over
+/// the whole plane, then each lane's tail word is masked down to the
+/// universe. One contiguous sweep over the arena — the word-parallel bulk
+/// initialization R scalar FS::full calls would each redo.
+inline void fill_lane_rows_full(std::uint64_t* words, usize num_words,
+                                usize lanes, std::uint64_t tail_mask) {
+  if (num_words == 0) return;
+  for (usize i = 0; i < num_words * lanes; ++i) words[i] = ~std::uint64_t{0};
+  for (usize lane = 0; lane < lanes; ++lane) {
+    words[lane * num_words + (num_words - 1)] = tail_mask;
+  }
 }
 
 }  // namespace amo::bits

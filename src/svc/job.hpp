@@ -11,6 +11,9 @@
 //   <scenario> [<scenario> ...] [key=value ...] [flag ...]   [# comment]
 //
 //   keys:   n= m= beta= eps= seed= seeds= replicas= shard=i/k out=FILE
+//           batch=auto|0|N  (replica-block width; execution option only —
+//           results are bit-identical at every width, so the default "auto"
+//           is omitted from canonical lines)
 //   flags:  scheduled-only  no-timing
 //
 // Blank lines and lines starting with '#' are skipped; a '#' token inside
@@ -26,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exp/batch.hpp"
 #include "exp/registry.hpp"
 #include "exp/shard.hpp"
 
@@ -38,6 +42,7 @@ struct job {
   bool no_timing = false;              ///< omit wall_seconds from JSON
   bool have_shard = false;
   exp::shard_ref shard;                ///< slice of the job's own grid
+  usize batch = exp::batch_auto;       ///< replica-block width (0 = scalar)
   std::string out;                     ///< output path; "" = service stream
   usize line = 0;                      ///< source line, for diagnostics
 

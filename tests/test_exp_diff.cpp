@@ -310,5 +310,112 @@ TEST(Diff, FormatMentionsTheVerdict) {
   EXPECT_NE(text.find("work"), std::string::npos) << text;
 }
 
+// --- the --dist-test replica-distribution gate ---
+
+/// Per-unit records of one cell: replica r carries work[r] and a seed
+/// derived from the replica index, exactly like add_unit_records output.
+std::vector<exp::record> replica_sample(const std::vector<long>& work) {
+  std::string doc = "[\n";
+  for (usize r = 0; r < work.size(); ++r) {
+    doc += "  {\"cell\": 0, \"replica\": " + std::to_string(r) +
+           ", \"replicas\": " + std::to_string(work.size()) +
+           ", \"scenario\": \"kk/random\", \"seed\": " +
+           std::to_string(1000 + r * 7) + ", \"n\": 100, " +
+           "\"effectiveness\": 97, \"work\": " + std::to_string(work[r]) +
+           ", \"at_most_once\": true}";
+    doc += r + 1 < work.size() ? ",\n" : "\n";
+  }
+  doc += "]\n";
+  exp::parse_result parsed = exp::parse_records(doc);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  return std::move(parsed.records);
+}
+
+TEST(DistTest, SystematicDriftInsideToleranceStillGates) {
+  // Every replica's work grows by ~1% — far inside the 5% per-record
+  // tolerance, invisible to the exact diff — but the shift is systematic:
+  // all eight candidate values exceed all eight baseline values, which is
+  // exactly what the rank tests exist to catch.
+  const std::vector<exp::record> base =
+      replica_sample({1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007});
+  const std::vector<exp::record> cand =
+      replica_sample({1010, 1011, 1012, 1013, 1014, 1015, 1016, 1017});
+
+  exp::diff_options plain;
+  EXPECT_LE(exp::report_diff(base, cand, plain).severity,
+            diff_severity::info);
+
+  exp::diff_options dist = plain;
+  dist.dist_test = true;
+  const exp::diff_report d = exp::report_diff(base, cand, dist);
+  EXPECT_EQ(d.severity, diff_severity::regression);
+  ASSERT_EQ(d.dist.size(), 1u);
+  EXPECT_EQ(d.dist[0].field, "work");
+  EXPECT_GT(d.dist[0].shift, 0.0);  // candidate tends larger
+  EXPECT_LT(d.dist[0].mw_p, 0.01);
+  EXPECT_LT(d.dist[0].ks_p, 0.01);
+  EXPECT_EQ(d.dist_groups, 1u);
+  const std::string text = exp::format_diff(d);
+  EXPECT_NE(text.find("dist"), std::string::npos) << text;
+  EXPECT_NE(text.find("work"), std::string::npos) << text;
+}
+
+TEST(DistTest, ImprovementShiftIsInfoNotRegression) {
+  // The same separation in the better direction (work dropped) must be
+  // reported but never gate — severity keying follows the metric's
+  // direction, like the exact diff's tolerance rule.
+  const std::vector<exp::record> base =
+      replica_sample({1010, 1011, 1012, 1013, 1014, 1015, 1016, 1017});
+  const std::vector<exp::record> cand =
+      replica_sample({1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007});
+  exp::diff_options dist;
+  dist.dist_test = true;
+  const exp::diff_report d = exp::report_diff(base, cand, dist);
+  EXPECT_EQ(d.severity, diff_severity::info);
+  ASSERT_EQ(d.dist.size(), 1u);
+  EXPECT_LT(d.dist[0].shift, 0.0);
+  EXPECT_EQ(d.dist[0].severity, diff_severity::info);
+}
+
+TEST(DistTest, SelfDiffAndTiedSamplesAreClean) {
+  // Identical replica samples are all ties: the rank variance is zero and
+  // the gate must stay silent instead of dividing by it.
+  const std::vector<exp::record> x =
+      replica_sample({1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000});
+  exp::diff_options dist;
+  dist.dist_test = true;
+  const exp::diff_report d = exp::report_diff(x, x, dist);
+  EXPECT_EQ(d.severity, diff_severity::clean);
+  EXPECT_TRUE(d.dist.empty());
+  EXPECT_EQ(d.dist_groups, 1u);
+}
+
+TEST(DistTest, SmallSamplesAreSkippedNotMistested) {
+  // R = 2 is far below any sane normal approximation; the gate skips the
+  // group entirely rather than produce a meaningless p-value.
+  const std::vector<exp::record> base = replica_sample({1000, 1004});
+  const std::vector<exp::record> cand = replica_sample({1400, 1404});
+  exp::diff_options dist;
+  dist.dist_test = true;
+  dist.tolerance = 0.5;  // keep the exact diff out of the way
+  const exp::diff_report d = exp::report_diff(base, cand, dist);
+  EXPECT_TRUE(d.dist.empty());
+}
+
+TEST(DistTest, OverlappingNoiseDoesNotGate) {
+  // Interleaved samples (the candidate is a permutation-level shuffle of
+  // the baseline's range) must not reach significance: the gate fires on
+  // systematic shifts, not on replica-to-replica noise.
+  const std::vector<exp::record> base =
+      replica_sample({1000, 1010, 1020, 1030, 1040, 1050, 1060, 1070});
+  const std::vector<exp::record> cand =
+      replica_sample({1005, 1015, 1018, 1033, 1042, 1048, 1065, 1068});
+  exp::diff_options dist;
+  dist.dist_test = true;
+  const exp::diff_report d = exp::report_diff(base, cand, dist);
+  EXPECT_TRUE(d.dist.empty());
+  EXPECT_EQ(d.dist_groups, 1u);
+}
+
 }  // namespace
 }  // namespace amo

@@ -102,6 +102,13 @@
 // Options (diff):
 //   --tol=T                          relative tolerance for work /
 //                                    effectiveness drift (default 0.05)
+//   --dist-test                      additionally rank-test the per-replica
+//                                    metric distributions of every matched
+//                                    cell (Mann-Whitney + KS, alpha 0.01);
+//                                    a significant shift toward the worse
+//                                    side of a gated metric is a regression
+//                                    even when every per-replica delta is
+//                                    inside --tol
 //
 // Every record follows the unified flat schema (see docs/json_schema.md):
 // exp::report_fields prefixed, for run/sweep output, with the global grid
@@ -153,6 +160,7 @@ using namespace amo;
 struct cli_options {
   exp::scenario_params params;
   usize pool = 0;
+  usize batch = exp::batch_auto;  ///< replica-block width (0 = scalar)
   std::string out;
   bool no_timing = false;
   bool check = false;
@@ -161,6 +169,7 @@ struct cli_options {
   bool have_shard = false;
   exp::shard_ref shard;
   double tol = 0.05;
+  bool dist_test = false;  ///< diff: replica-distribution rank tests
   std::string jobs;     ///< serve: input FIFO/file
   std::string to;       ///< submit: target FIFO/file
   usize shards = 0;     ///< dispatch: k
@@ -207,6 +216,18 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       opt.retries = std::strtoull(v, nullptr, 10);
     } else if (parse_kv(a, "--pool", &v)) {
       opt.pool = std::strtoull(v, nullptr, 10);
+    } else if (parse_kv(a, "--batch-replicas", &v)) {
+      if (std::strcmp(v, "auto") == 0) {
+        opt.batch = exp::batch_auto;
+      } else {
+        char* end = nullptr;
+        opt.batch = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0') {
+          std::fprintf(stderr,
+                       "bad batch width '%s' (want auto, 0, or a count)\n", v);
+          return false;
+        }
+      }
     } else if (parse_kv(a, "--shard", &v)) {
       if (!exp::parse_shard(v, opt.shard)) {
         std::fprintf(stderr, "bad shard '%s': want i/k with 0 <= i < k\n", v);
@@ -252,6 +273,8 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       opt.dir = v;
     } else if (std::strcmp(a, "--keep-shards") == 0) {
       opt.keep_shards = true;
+    } else if (std::strcmp(a, "--dist-test") == 0) {
+      opt.dist_test = true;
     } else if (std::strcmp(a, "--once") == 0) {
       opt.once = true;
     } else if (std::strcmp(a, "--no-timing") == 0) {
@@ -288,7 +311,8 @@ void usage(std::FILE* to) {
       "  diff <base.json> <cand.json>   classify changes cell-by-cell; exits\n"
       "                                 1 on work/effectiveness regression\n"
       "                                 beyond --tol, 2 on new duplicates/\n"
-      "                                 livelocks or missing cells\n"
+      "                                 livelocks or missing cells; --dist-test\n"
+      "                                 adds per-replica rank tests (MW + KS)\n"
       "  serve [--jobs=FIFO]            resident service: persistent pool,\n"
       "                                 job lines in, per-job JSON out\n"
       "  submit <scenario ...>          append a canonical job line to --to\n"
@@ -300,7 +324,8 @@ void usage(std::FILE* to) {
       "  help                           this text\n"
       "\n"
       "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R\n"
-      "         --replicas=R --pool=P --shard=i/k --scheduled-only\n"
+      "         --replicas=R --pool=P --batch-replicas=auto|0|N\n"
+      "         --shard=i/k --scheduled-only\n"
       "         --out=FILE --no-timing --check --quiet --tol=T --jobs=FILE\n"
       "         --once --heartbeat-s=T --to=FILE --shards=K --retries=R\n"
       "         --deadline-s=T --inject=SPEC --resume --command=TEMPLATE\n"
@@ -346,6 +371,7 @@ svc::job job_from_options(const cli_options& opt) {
   j.no_timing = opt.no_timing;
   j.have_shard = opt.have_shard;
   j.shard = opt.shard;
+  j.batch = opt.batch;
   j.out = opt.out;
   return j;
 }
@@ -465,6 +491,7 @@ int cmd_diff(const cli_options& opt) {
   }
   exp::diff_options dopt;
   dopt.tolerance = opt.tol;
+  dopt.dist_test = opt.dist_test;
   const exp::diff_report report =
       exp::report_diff(base.records, cand.records, dopt);
   if (!opt.quiet || report.severity != exp::diff_severity::clean) {
@@ -623,6 +650,9 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
   args += buf;
   if (opt.scheduled_only) args += " --scheduled-only";
   if (opt.no_timing) args += " --no-timing";
+  if (opt.batch != exp::batch_auto) {
+    args += " --batch-replicas=" + std::to_string(opt.batch);
+  }
   args += " --quiet";
 
   svc::dispatch_options dopt;
