@@ -1,0 +1,420 @@
+// Record-format throughput — the raw-scale claim behind .amoc: the
+// columnar binary format plus the streaming merge moves MILLIONS of unit
+// records through write -> shard -> merge in bounded memory, at a
+// fraction of the JSON byte footprint, without ever giving up the
+// byte-identity invariant (docs/record_format.md).
+//
+// Three scenarios:
+//   records/stream_1m        1,000,000 synthetic unit records (62,500
+//                            cells x 16 replicas, 4 shards) streamed
+//                            through exp::colfmt_writer and re-folded by
+//                            exp::merge_stream — never more than one
+//                            cell's replicas in memory per side. Reports
+//                            write/merge records-per-second and
+//                            bytes-per-unit/cell for colfmt vs the JSON
+//                            rendering of the same records.
+//   records/format_parity    20,000 units written as BOTH .amoc and JSON
+//                            shards; both merges must render the exact
+//                            same aggregate bytes (the cross-format half
+//                            of the byte-identity invariant), with the
+//                            wall clocks side by side.
+//   records/real_grid        a real (small) sweep: shard -> .amoc ->
+//                            streaming merge must reproduce the one-shot
+//                            sweep's JSON byte-for-byte, and
+//                            decode(encode(x)) must reproduce x.
+//
+// BENCH_records.json uses the shared flat schema (docs/json_schema.md):
+// "scenario" is the identity axis, bit_identical gates as a safety flag
+// in the CI `amo_lab diff` step, and the throughput numbers ride along
+// as informational fields (novel names never gate).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/colfmt.hpp"
+#include "exp/merge.hpp"
+#include "exp/record.hpp"
+#include "svc/server.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace {
+
+using namespace amo;
+
+/// One real unit record to clone: running an actual sharded job gives the
+/// full production schema (spec echo, metrics, safety flags), so the
+/// synthetic fold below exercises exactly the fields exp::merge_stream
+/// folds in production.
+exp::record unit_template() {
+  svc::job j;
+  j.scenarios = {"kk/random"};
+  j.params.n = 64;
+  j.params.m = 2;
+  j.params.seeds = 1;
+  j.params.replicas = 2;
+  j.scheduled_only = true;
+  j.no_timing = true;
+  j.have_shard = true;
+  j.shard = {0, 2};
+  svc::worker_pool pool(1);
+  const svc::job_result r = svc::execute_job(j, pool);
+  if (!r.ok()) {
+    std::fprintf(stderr, "template job failed: %s\n", r.error.c_str());
+    std::exit(2);
+  }
+  const exp::parse_result parsed = exp::parse_records(r.render_json());
+  if (!parsed.ok() || parsed.records.empty()) {
+    std::fprintf(stderr, "template parse failed: %s\n", parsed.error.c_str());
+    std::exit(2);
+  }
+  return parsed.records.front();
+}
+
+void set_u64(exp::record& r, const char* key, std::uint64_t v) {
+  for (exp::record_field& f : r.fields) {
+    if (f.key != key) continue;
+    f.type = exp::record_field::kind::number;
+    f.number = static_cast<double>(v);
+    f.raw = std::to_string(v);
+    f.text.clear();
+    return;
+  }
+}
+
+struct synth_shape {
+  usize cells = 0;
+  usize replicas = 0;
+  usize shards = 0;
+  [[nodiscard]] usize units() const { return cells * replicas; }
+};
+
+/// The unit records of one cell, cloned off the template with consistent
+/// grid indices and deterministically varied metric values (so column
+/// min/max and the fold see real variation, not constants).
+std::vector<exp::record> synth_cell(const exp::record& tmpl,
+                                    const synth_shape& sh, usize cell) {
+  std::vector<exp::record> rows;
+  rows.reserve(sh.replicas);
+  for (usize r = 0; r < sh.replicas; ++r) {
+    exp::record rec = tmpl;
+    set_u64(rec, "unit", cell * sh.replicas + r);
+    set_u64(rec, "units_total", sh.units());
+    set_u64(rec, "cell", cell);
+    set_u64(rec, "cells_total", sh.cells);
+    set_u64(rec, "replica", r);
+    set_u64(rec, "replicas", sh.replicas);
+    set_u64(rec, "effectiveness", 40 + (cell * 31 + r * 7) % 17);
+    set_u64(rec, "steps", 900 + (cell * 13 + r * 5) % 101);
+    set_u64(rec, "collisions", (cell + r) % 7);
+    rows.push_back(std::move(rec));
+  }
+  return rows;
+}
+
+/// Exact byte length the JSON rendering of `rows` contributes to a whole
+/// document: render_records frames a chunk as "[\n" rows "\n]\n" with
+/// ",\n" separators, so the rows' own bytes are size - 5 - 2*(count-1).
+std::uint64_t json_row_bytes(const std::vector<exp::record>& rows) {
+  if (rows.empty()) return 0;
+  return exp::render_records(rows).size() - 5 - 2 * (rows.size() - 1);
+}
+
+struct stream_stats {
+  double write_seconds = 0.0;  ///< colfmt_writer time only
+  std::uint64_t colfmt_bytes = 0;
+  std::uint64_t json_bytes = 0;  ///< the same records rendered as JSON
+  double merge_seconds = 0.0;    ///< full streaming merge wall
+  usize aggregates = 0;
+  std::uint64_t merged_bytes = 0;
+  bool ok = true;
+};
+
+std::string shard_path(usize i) {
+  return "bench_records_shard" + std::to_string(i) + ".amoc";
+}
+
+/// Writes `sh` as .amoc shard files (strided unit partition, like a real
+/// dispatch), streams them back through merge_stream into a colfmt_writer,
+/// and validates the aggregate count. Bounded memory throughout: one
+/// cell's replicas per side.
+stream_stats run_stream(const exp::record& tmpl, const synth_shape& sh,
+                        bool measure_json_bytes) {
+  stream_stats st;
+  // Shard by cell block: shard i owns cells [i*per, ...). Any tiling works
+  // for the merge as long as each source is index-ascending.
+  const usize per = (sh.cells + sh.shards - 1) / sh.shards;
+  for (usize s = 0; s < sh.shards; ++s) {
+    exp::colfmt_writer w;
+    std::string error;
+    if (!w.open(shard_path(s).c_str(), error)) {
+      std::fprintf(stderr, "bench_records: %s\n", error.c_str());
+      st.ok = false;
+      return st;
+    }
+    const usize lo = s * per;
+    const usize hi = std::min(sh.cells, lo + per);
+    for (usize cell = lo; cell < hi; ++cell) {
+      const std::vector<exp::record> rows = synth_cell(tmpl, sh, cell);
+      stopwatch clock;
+      if (!w.add_chunk(rows, error)) {
+        std::fprintf(stderr, "bench_records: %s\n", error.c_str());
+        st.ok = false;
+        return st;
+      }
+      st.write_seconds += clock.seconds();
+      if (measure_json_bytes) st.json_bytes += json_row_bytes(rows);
+    }
+    stopwatch clock;
+    if (!w.finish(error)) {
+      std::fprintf(stderr, "bench_records: %s\n", error.c_str());
+      st.ok = false;
+      return st;
+    }
+    st.write_seconds += clock.seconds();
+    st.colfmt_bytes += w.bytes_written();
+  }
+  if (measure_json_bytes && sh.units() > 0) {
+    st.json_bytes += 5 + 2 * (sh.units() - 1);  // document framing
+  }
+
+  // The streaming fold, shard files -> merged.amoc, cell by cell.
+  std::vector<std::unique_ptr<exp::record_source>> sources;
+  for (usize s = 0; s < sh.shards; ++s) {
+    sources.push_back(exp::make_file_source(shard_path(s)));
+  }
+  exp::colfmt_writer merged;
+  std::string error;
+  if (!merged.open("bench_records_merged.amoc", error)) {
+    std::fprintf(stderr, "bench_records: %s\n", error.c_str());
+    st.ok = false;
+    return st;
+  }
+  stopwatch clock;
+  const exp::merge_result r = exp::merge_stream(
+      std::move(sources), [&](exp::record&& agg, std::string& serr) {
+        ++st.aggregates;
+        return merged.add_chunk({std::move(agg)}, serr);
+      });
+  if (!r.ok() || !merged.finish(error)) {
+    std::fprintf(stderr, "bench_records: merge: %s\n",
+                 (!r.ok() ? r.error : error).c_str());
+    st.ok = false;
+    return st;
+  }
+  st.merge_seconds = clock.seconds();
+  st.merged_bytes = merged.bytes_written();
+  st.ok = st.aggregates == sh.cells && r.cells_total == sh.cells &&
+          r.units_total == sh.units();
+  for (usize s = 0; s < sh.shards; ++s) std::remove(shard_path(s).c_str());
+  std::remove("bench_records_merged.amoc");
+  return st;
+}
+
+/// Cross-format parity: the same shards written as JSON and as .amoc must
+/// merge to the exact same aggregate bytes.
+bool run_parity(const exp::record& tmpl, const synth_shape& sh,
+                double& json_seconds, double& colfmt_seconds) {
+  std::vector<std::string> paths;
+  for (usize s = 0; s < sh.shards; ++s) {
+    std::vector<exp::record> rows;
+    const usize per = (sh.cells + sh.shards - 1) / sh.shards;
+    for (usize cell = s * per; cell < std::min(sh.cells, (s + 1) * per);
+         ++cell) {
+      for (exp::record& rec : synth_cell(tmpl, sh, cell)) {
+        rows.push_back(std::move(rec));
+      }
+    }
+    for (const exp::record_format fmt :
+         {exp::record_format::json, exp::record_format::colfmt}) {
+      const std::string path =
+          "bench_records_parity" + std::to_string(s) +
+          (fmt == exp::record_format::json ? ".json" : ".amoc");
+      std::string error;
+      if (!exp::write_records_file_as(path.c_str(), rows, fmt, error)) {
+        std::fprintf(stderr, "bench_records: %s\n", error.c_str());
+        return false;
+      }
+      paths.push_back(path);
+    }
+  }
+
+  std::string rendered[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    const char* ext = pass == 0 ? ".json" : ".amoc";
+    std::vector<std::unique_ptr<exp::record_source>> sources;
+    for (const std::string& p : paths) {
+      if (p.size() >= 5 && p.compare(p.size() - 5, 5, ext) == 0) {
+        sources.push_back(exp::make_file_source(p));
+      }
+    }
+    stopwatch clock;
+    const exp::merge_result r = exp::merge_stream(std::move(sources));
+    (pass == 0 ? json_seconds : colfmt_seconds) = clock.seconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "bench_records: parity merge: %s\n",
+                   r.error.c_str());
+      return false;
+    }
+    rendered[pass] = exp::render_records(r.records);
+  }
+  for (const std::string& p : paths) std::remove(p.c_str());
+  return !rendered[0].empty() && rendered[0] == rendered[1];
+}
+
+/// The real-sweep identity: shard a real job, write .amoc shards, stream-
+/// merge them, and require the one-shot sweep's exact JSON — plus
+/// decode(encode(x)) == x on that output.
+bool run_real_grid(usize& units) {
+  svc::worker_pool pool(1);
+  auto job_of = [](usize i, usize k) {
+    svc::job j;
+    j.scenarios = {"kk/random"};
+    j.params.n = 96;
+    j.params.m = 2;
+    j.params.seeds = 2;
+    j.params.replicas = 4;
+    j.scheduled_only = true;
+    j.no_timing = true;
+    if (k > 1) {
+      j.have_shard = true;
+      j.shard = {i, k};
+    }
+    return j;
+  };
+  const std::string expected =
+      svc::execute_job(job_of(0, 1), pool).render_json();
+
+  std::vector<std::unique_ptr<exp::record_source>> sources;
+  for (usize i = 0; i < 3; ++i) {
+    const svc::job_result r = svc::execute_job(job_of(i, 3), pool);
+    if (!r.ok()) return false;
+    units += r.runs().size();
+    const exp::parse_result parsed = exp::parse_records(r.render_json());
+    if (!parsed.ok()) return false;
+    const std::string path = "bench_records_grid" + std::to_string(i) + ".amoc";
+    std::string error;
+    if (!exp::write_records_file_as(path.c_str(), parsed.records,
+                                    exp::record_format::colfmt, error)) {
+      return false;
+    }
+    sources.push_back(exp::make_file_source(path));
+  }
+  const exp::merge_result merged = exp::merge_stream(std::move(sources));
+  for (usize i = 0; i < 3; ++i) {
+    std::remove(("bench_records_grid" + std::to_string(i) + ".amoc").c_str());
+  }
+  if (!merged.ok()) {
+    std::fprintf(stderr, "bench_records: real grid: %s\n",
+                 merged.error.c_str());
+    return false;
+  }
+  if (exp::render_records(merged.records) != expected) return false;
+
+  std::string bytes;
+  std::string error;
+  if (!exp::colfmt_encode(merged.records, bytes, error)) return false;
+  const exp::parse_result rt = exp::colfmt_decode(bytes);
+  return rt.ok() && exp::render_records(rt.records) == expected;
+}
+
+}  // namespace
+
+int main() {
+  stopwatch total;
+  benchx::print_title(
+      "Record formats  (.amoc columnar write + streaming merge vs JSON)",
+      "claim: a million unit records stream through write -> merge in\n"
+      "bounded memory, byte-identical to the JSON path at a fraction of\n"
+      "the bytes");
+
+  const exp::record tmpl = unit_template();
+  benchx::json_report json;
+  bool all_identical = true;
+
+  // --- records/stream_1m -------------------------------------------------
+  const synth_shape big{62500, 16, 4};  // 1,000,000 units
+  const stream_stats st = run_stream(tmpl, big, /*measure_json_bytes=*/true);
+  all_identical = all_identical && st.ok;
+  const double write_rate =
+      st.write_seconds > 0 ? big.units() / st.write_seconds : 0.0;
+  const double merge_rate =
+      st.merge_seconds > 0 ? big.units() / st.merge_seconds : 0.0;
+
+  // --- records/format_parity ---------------------------------------------
+  const synth_shape mid{1250, 16, 2};  // 20,000 units
+  double json_merge_s = 0.0;
+  double colfmt_merge_s = 0.0;
+  const bool parity = run_parity(tmpl, mid, json_merge_s, colfmt_merge_s);
+  all_identical = all_identical && parity;
+
+  // --- records/real_grid --------------------------------------------------
+  usize real_units = 0;
+  const bool real_ok = run_real_grid(real_units);
+  all_identical = all_identical && real_ok;
+
+  text_table t({"scenario", "units", "shards", "colfmt B/unit", "json B/unit",
+                "write rec/s", "merge rec/s", "identical?"});
+  t.add_row({"records/stream_1m", fmt_count(big.units()),
+             fmt_count(big.shards),
+             fmt(double(st.colfmt_bytes) / big.units(), 1),
+             fmt(double(st.json_bytes) / big.units(), 1),
+             fmt_count(usize(write_rate)), fmt_count(usize(merge_rate)),
+             benchx::yesno(st.ok)});
+  t.add_row({"records/format_parity", fmt_count(mid.units()),
+             fmt_count(mid.shards), "-", "-", "-",
+             benchx::ratio(json_merge_s, colfmt_merge_s) + "x json/colfmt",
+             benchx::yesno(parity)});
+  t.add_row({"records/real_grid", fmt_count(real_units), "3", "-", "-", "-",
+             "-", benchx::yesno(real_ok)});
+  benchx::print_table(t);
+  std::printf("\ncolfmt merged aggregate file: %llu bytes for %zu cells "
+              "(%.1f B/cell)\n",
+              static_cast<unsigned long long>(st.merged_bytes), st.aggregates,
+              st.aggregates > 0 ? double(st.merged_bytes) / st.aggregates
+                                : 0.0);
+
+  json.add({{"experiment", benchx::json_report::str("E_record_formats")},
+            {"scenario", benchx::json_report::str("records/stream_1m")},
+            {"units", benchx::json_report::num(std::uint64_t{big.units()})},
+            {"cells", benchx::json_report::num(std::uint64_t{big.cells})},
+            {"replicas", benchx::json_report::num(std::uint64_t{big.replicas})},
+            {"shards", benchx::json_report::num(std::uint64_t{big.shards})},
+            {"colfmt_bytes", benchx::json_report::num(st.colfmt_bytes)},
+            {"json_bytes", benchx::json_report::num(st.json_bytes)},
+            {"colfmt_bytes_per_unit",
+             benchx::json_report::num(double(st.colfmt_bytes) / big.units())},
+            {"json_bytes_per_unit",
+             benchx::json_report::num(double(st.json_bytes) / big.units())},
+            {"merged_bytes", benchx::json_report::num(st.merged_bytes)},
+            {"merged_bytes_per_cell",
+             benchx::json_report::num(double(st.merged_bytes) / big.cells)},
+            {"write_wall_seconds", benchx::json_report::num(st.write_seconds)},
+            {"merge_wall_seconds", benchx::json_report::num(st.merge_seconds)},
+            {"write_units_per_second", benchx::json_report::num(write_rate)},
+            {"merge_units_per_second", benchx::json_report::num(merge_rate)},
+            {"bit_identical", benchx::json_report::boolean(st.ok)}});
+  json.add({{"experiment", benchx::json_report::str("E_record_formats")},
+            {"scenario", benchx::json_report::str("records/format_parity")},
+            {"units", benchx::json_report::num(std::uint64_t{mid.units()})},
+            {"cells", benchx::json_report::num(std::uint64_t{mid.cells})},
+            {"replicas", benchx::json_report::num(std::uint64_t{mid.replicas})},
+            {"shards", benchx::json_report::num(std::uint64_t{mid.shards})},
+            {"json_merge_wall_seconds", benchx::json_report::num(json_merge_s)},
+            {"colfmt_merge_wall_seconds",
+             benchx::json_report::num(colfmt_merge_s)},
+            {"bit_identical", benchx::json_report::boolean(parity)}});
+  json.add({{"experiment", benchx::json_report::str("E_record_formats")},
+            {"scenario", benchx::json_report::str("records/real_grid")},
+            {"units", benchx::json_report::num(std::uint64_t{real_units})},
+            {"shards", benchx::json_report::num(std::uint64_t{3})},
+            {"bit_identical", benchx::json_report::boolean(real_ok)}});
+
+  if (json.write("BENCH_records.json")) {
+    std::printf("[%zu records -> BENCH_records.json]\n", json.size());
+  }
+  std::printf("\n[bench_records done in %.1fs; bit-identical %s]\n",
+              total.seconds(), benchx::yesno(all_identical).c_str());
+  return all_identical ? 0 : 1;
+}

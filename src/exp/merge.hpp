@@ -1,5 +1,5 @@
 // Recombines sharded sweep outputs into the byte-identical equivalent of
-// the unsharded sweep.
+// the unsharded sweep — as a STREAMING fold.
 //
 // Replica-aware shards (since the replica refactor) emit one record per
 // (cell, replica) UNIT, keyed by "unit"/"units_total"; the merge re-groups
@@ -8,7 +8,16 @@
 // identical, because json_writer::num is round-trip-exact and the fold is
 // a deterministic function of the replica values in replica order. Legacy
 // per-cell records (no "unit" field — old artifacts, BENCH files) merge as
-// before: sort by "cell", pass raw tokens through.
+// before: k-way merge by "cell", raw tokens pass through.
+//
+// merge_stream consumes record_sources — in-memory arrays, JSON files, or
+// streaming .amoc readers (exp::colfmt_reader) — through a k-way merge
+// that holds one head record per source plus at most one cell's replicas,
+// so a merge over million-unit shard files never materializes a
+// full-sweep record vector. merge_shards is the in-memory front end over
+// the same fold (it pre-sorts each shard, preserving the old any-order
+// contract); file sources must already be index-ascending, which every
+// writer in this repo guarantees.
 //
 // The contract is strict in both modes: the shards must agree on the grid
 // (fingerprint + sizes), and the union must cover the whole index space
@@ -17,6 +26,8 @@
 // error, not a best-effort output.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,9 +45,58 @@ struct merge_result {
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
+/// One ordered stream of records (a shard). next() yields records until it
+/// sets `end`; false with `error` on any failure (I/O, parse, a corrupt
+/// .amoc chunk). A source is pulled single-threaded and in order.
+class record_source {
+ public:
+  virtual ~record_source() = default;
+  [[nodiscard]] virtual bool next(record& out, bool& end,
+                                  std::string& error) = 0;
+};
+
+/// Wraps an in-memory record array (already index-sorted) as a source.
+[[nodiscard]] std::unique_ptr<record_source> make_memory_source(
+    std::vector<record> records);
+
+/// Wraps a record file as a source. The file is opened lazily at the
+/// first next(): a .amoc file (sniffed by magic) streams chunk by chunk
+/// through colfmt_reader; a JSON file is parsed whole (the JSON grammar
+/// is not self-delimiting per record). Errors carry the path.
+[[nodiscard]] std::unique_ptr<record_source> make_file_source(
+    std::string path);
+
+/// Where merge_stream delivers each output record when the caller wants
+/// to stream them onward (e.g. into a colfmt_writer chunk by chunk)
+/// instead of accumulating merge_result.records. False aborts the merge
+/// with `error`.
+using record_sink = std::function<bool(record&&, std::string& error)>;
+
+/// Which record schema the fold expects; `sniff` lets the first record
+/// pulled decide (a unit record always carries "unit").
+enum class merge_schema : std::uint8_t { sniff, cells, units };
+
+/// The streaming fold: k-way-merges the sources by unit (or legacy cell)
+/// index, validates the grid/coverage contract, folds each complete cell's
+/// replicas, and emits aggregates — to `sink` when given (records is left
+/// empty), else into merge_result.records. Bounded memory: one head
+/// record per source + one cell's replicas, independent of sweep size.
+merge_result merge_stream(std::vector<std::unique_ptr<record_source>> sources,
+                          const record_sink& sink = {},
+                          merge_schema schema = merge_schema::sniff);
+
 /// Merges the records of several shard files (each element = one file's
-/// parsed records, any order).
+/// parsed records, any order). In-memory front end of merge_stream.
 merge_result merge_shards(const std::vector<std::vector<record>>& shards);
+
+/// Folds ONE cell's unit records (complete, replica order) into the
+/// aggregate record add_cell_records would have emitted — raw tokens of
+/// the base replica pass through, safety flags AND-fold, summaries are
+/// recomputed through exp::stats, wall clocks sum. The byte-identity
+/// kernel both merge paths and bench_records share. False with `error`
+/// when a record lacks a foldable field.
+bool fold_unit_cell(const std::vector<record>& units, record& agg,
+                    std::string& error);
 
 /// Integrity check for ONE shard file against the slice it owes: the
 /// records must be internally consistent (every record carries the same

@@ -281,6 +281,24 @@ const record_field* record::find(std::string_view key) const {
   return nullptr;
 }
 
+bool parse_value_token(std::string_view token, record_field& f,
+                       std::string& error) {
+  scanner sc;
+  sc.doc = token;
+  record_field parsed;
+  if (!parse_value(sc, parsed)) {
+    error = sc.error;
+    return false;
+  }
+  sc.skip_ws();
+  if (!sc.eof()) {
+    error = "trailing content after value token '" + std::string(token) + "'";
+    return false;
+  }
+  f = std::move(parsed);
+  return true;
+}
+
 parse_result parse_records(std::string_view doc) {
   parse_result out;
   scanner sc;

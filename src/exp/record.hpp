@@ -49,6 +49,14 @@ struct parse_result {
 /// arrays/objects are rejected (the record schema is flat by contract).
 parse_result parse_records(std::string_view doc);
 
+/// Parses ONE value token (the exact value grammar parse_records accepts:
+/// string, number, true/false/null) into `f`, which keeps the token as its
+/// raw. The whole token must be consumed. This is how the columnar format
+/// decodes verbatim-stored tokens with semantics identical to the document
+/// parser's. False with `error` on a malformed or trailing-content token.
+bool parse_value_token(std::string_view token, record_field& f,
+                       std::string& error);
+
 /// fopen + parse_records; a read failure is reported through .error.
 parse_result parse_records_file(const char* path);
 

@@ -12,6 +12,7 @@
 #include "exp/report.hpp"
 #include "svc/fault.hpp"
 #include "util/fileio.hpp"
+#include "util/fnv.hpp"
 
 #if defined(_WIN32)
 #error "svc::dispatcher uses fork/execve/waitpid; no Windows port yet"
@@ -40,22 +41,6 @@ void replace_all(std::string& s, std::string_view what, std::string_view with) {
     s.replace(pos, what.size(), with);
     pos += with.size();
   }
-}
-
-std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
 }
 
 std::string fmt_seconds(double s) {
@@ -235,8 +220,8 @@ void write_manifest(const std::string& path,
               {"file", W::str(run.file)},
               {"exit", W::num(std::uint64_t{
                            static_cast<unsigned>(run.exit_code)})},
-              {"fnv64", W::str(hex64(run.content_fnv64))},
-              {"args_fnv64", W::str(hex64(args_fp))}});
+              {"fnv64", W::str(fnv_hex64(run.content_fnv64))},
+              {"args_fnv64", W::str(fnv_hex64(args_fp))}});
   }
   json.write(path.c_str());
 }
@@ -256,7 +241,7 @@ usize load_manifest(const std::string& path, std::vector<shard_run>& runs,
     }
     return 0;
   }
-  const std::string want_args = hex64(args_fp);
+  const std::string want_args = fnv_hex64(args_fp);
   usize adopted = 0;
   for (const exp::record& rec : parsed.records) {
     const exp::record_field* f_shard = rec.find("shard");
@@ -290,11 +275,11 @@ usize load_manifest(const std::string& path, std::vector<shard_run>& runs,
       skip(err);
       continue;
     }
-    if (hex64(fnv1a64(content)) != f_hash->text) {
+    if (fnv_hex64(fnv1a64(content)) != f_hash->text) {
       skip(run.file + ": content hash mismatch (file changed since checkpoint)");
       continue;
     }
-    exp::parse_result shard_parsed = exp::parse_records(content);
+    exp::parse_result shard_parsed = exp::decode_records(content);
     if (!shard_parsed.ok()) {
       skip(run.file + ": " + shard_parsed.error);
       continue;
@@ -376,7 +361,8 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
     shard_run& run = out.shards[i];
     run.shard = {i, opt.shards};
     run.file = opt.dir + "/dispatch-shard-" + std::to_string(i) + "of" +
-               std::to_string(opt.shards) + ".json";
+               std::to_string(opt.shards) +
+               (opt.format == exp::record_format::colfmt ? ".amoc" : ".json");
     run.command =
         expand_command(opt.command, opt.self, args, run.shard, run.file);
   }
@@ -444,7 +430,7 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
         run->detail = err;
         continue;
       }
-      exp::parse_result parsed = exp::parse_records(content);
+      exp::parse_result parsed = exp::decode_records(content);
       if (!parsed.ok()) {
         run->detail = run->file + ": " + parsed.error;
         continue;
@@ -511,7 +497,8 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
 
   if (!opt.out.empty()) {
     std::string werr;
-    if (!exp::write_records_file(opt.out.c_str(), out.merged, werr)) {
+    if (!exp::write_records_file_as(opt.out.c_str(), out.merged, opt.format,
+                                    werr)) {
       out.error = werr;
       out.exit_code = 3;
       return out;
@@ -527,6 +514,149 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
   }
   out.exit_code = worst;  // 0, or 1 when a shard flagged a safety violation
   return out;
+}
+
+bool fnv64_file(const char* path, std::uint64_t& hash, std::string& error) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    error = std::string("cannot open ") + path + ": " + std::strerror(errno);
+    return false;
+  }
+  hash = fnv1a64_offset;
+  char buf[65536];
+  for (;;) {
+    const usize got = std::fread(buf, 1, sizeof buf, f);
+    hash = fnv1a64_append(hash, std::string_view(buf, got));
+    if (got < sizeof buf) break;
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    error = std::string("cannot read ") + path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+exp::merge_result merge_from_manifest(const std::string& manifest_file,
+                                      double wait_s, bool quiet,
+                                      const exp::record_sink& sink) {
+  exp::merge_result out;
+
+  struct entry {
+    std::string file;
+    std::string hash;  ///< fnv64 hex the dispatcher recorded
+    bool present = false;
+  };
+  std::vector<entry> set;  ///< the winning (shards, args_fnv64) set
+
+  const steady::time_point give_up =
+      steady::now() + secs(wait_s > 0 ? wait_s : 0);
+  bool announced = false;
+  for (;;) {
+    set.clear();
+    std::string why;
+    const exp::parse_result parsed =
+        exp::parse_records_file(manifest_file.c_str());
+    if (!parsed.ok()) {
+      why = parsed.error;
+    } else {
+      // Group the entries by checkpoint identity (partition width + args
+      // fingerprint); the first identity to cover every shard index wins.
+      // A manifest normally holds exactly one identity — several appear
+      // only when dispatches share a directory.
+      struct group {
+        std::string args;
+        std::vector<entry> shards;
+        usize present = 0;
+      };
+      std::vector<group> groups;
+      for (const exp::record& rec : parsed.records) {
+        const exp::record_field* f_shard = rec.find("shard");
+        const exp::record_field* f_count = rec.find("shards");
+        const exp::record_field* f_file = rec.find("file");
+        const exp::record_field* f_exit = rec.find("exit");
+        const exp::record_field* f_hash = rec.find("fnv64");
+        const exp::record_field* f_args = rec.find("args_fnv64");
+        if (f_shard == nullptr || f_count == nullptr || f_file == nullptr ||
+            f_exit == nullptr || f_hash == nullptr || f_args == nullptr) {
+          continue;
+        }
+        const auto index = static_cast<usize>(f_shard->number);
+        const auto count = static_cast<usize>(f_count->number);
+        const int exit_code = static_cast<int>(f_exit->number);
+        if (count == 0 || index >= count || (exit_code != 0 && exit_code != 1)) {
+          continue;
+        }
+        group* g = nullptr;
+        for (group& have : groups) {
+          if (have.shards.size() == count && have.args == f_args->text) {
+            g = &have;
+            break;
+          }
+        }
+        if (g == nullptr) {
+          groups.push_back({f_args->text, std::vector<entry>(count), 0});
+          g = &groups.back();
+        }
+        entry& e = g->shards[index];
+        if (!e.present) ++g->present;
+        e = {f_file->text, f_hash->text, true};
+      }
+      usize best_present = 0;
+      usize best_count = 0;
+      for (const group& g : groups) {
+        if (g.present == g.shards.size()) {
+          set = g.shards;
+          break;
+        }
+        if (g.present > best_present) {
+          best_present = g.present;
+          best_count = g.shards.size();
+        }
+      }
+      if (set.empty()) {
+        why = groups.empty()
+                  ? "no usable shard entries"
+                  : "holds " + std::to_string(best_present) + " of " +
+                        std::to_string(best_count) + " shards";
+      }
+    }
+    if (!set.empty()) break;
+    if (steady::now() >= give_up) {
+      out.error = manifest_file + ": " + why +
+                  (wait_s > 0 ? " after waiting " + fmt_seconds(wait_s) + "s"
+                              : "");
+      return out;
+    }
+    if (!announced && !quiet) {
+      std::fprintf(stderr, "merge: waiting up to %ss for %s (%s)\n",
+                   fmt_seconds(wait_s).c_str(), manifest_file.c_str(),
+                   why.c_str());
+      announced = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  // Trust nothing that was not re-verified: each checkpointed file must
+  // still hash to what the dispatcher validated.
+  for (const entry& e : set) {
+    std::uint64_t hash = 0;
+    if (!fnv64_file(e.file.c_str(), hash, out.error)) return out;
+    if (fnv_hex64(hash) != e.hash) {
+      out.error = e.file + ": content hash " + fnv_hex64(hash) +
+                  " disagrees with the manifest checkpoint " + e.hash +
+                  " (file changed since the dispatch validated it)";
+      return out;
+    }
+  }
+
+  std::vector<std::unique_ptr<exp::record_source>> sources;
+  sources.reserve(set.size());
+  for (const entry& e : set) {
+    sources.push_back(exp::make_file_source(e.file));
+  }
+  return exp::merge_stream(std::move(sources), sink);
 }
 
 }  // namespace amo::svc

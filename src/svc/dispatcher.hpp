@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/colfmt.hpp"
+#include "exp/merge.hpp"
 #include "exp/record.hpp"
 #include "exp/shard.hpp"
 
@@ -73,6 +75,12 @@ struct dispatch_options {
   bool resume = false;
   /// Manifest path; "" = "<dir>/dispatch-manifest.json".
   std::string manifest;
+  /// On-disk format for the shard files and the merged output. colfmt
+  /// shard artifacts (".amoc" extension, which the children infer their
+  /// output format from) are smaller and let a later `merge` stream them
+  /// in bounded memory; validation, checkpointing, retries, and the
+  /// byte-identity of the merged records are format-independent.
+  exp::record_format format = exp::record_format::json;
 };
 
 /// One launched shard subprocess.
@@ -123,5 +131,23 @@ struct dispatch_result {
 /// --n=1024 --no-timing --quiet"), waits (within deadlines) for all,
 /// validates and merges their shard files.
 dispatch_result dispatch(const std::string& args, const dispatch_options& opt);
+
+/// Streaming FNV-1a-64 of a file's bytes (fixed-size read buffer — the
+/// hash a gigabyte shard artifact is verified with). False with `error`
+/// ("cannot ...") on I/O failure.
+bool fnv64_file(const char* path, std::uint64_t& hash, std::string& error);
+
+/// Merges shard files straight from a dispatch manifest (the checkpoint
+/// `dispatch --keep-shards` / a failed dispatch leaves behind) — no
+/// relaunch, no in-memory shard vectors: each checkpointed file is
+/// re-verified against its recorded content hash, then folded through
+/// exp::merge_stream. Polls the manifest (~0.2 s) until one consistent
+/// (shards, args fingerprint) set has checkpointed all k shards, so a
+/// merge can sit downstream of a dispatch still in flight; gives up after
+/// `wait_s` seconds (0 = one immediate attempt). Output goes to `sink`
+/// when given, else merge_result.records.
+exp::merge_result merge_from_manifest(const std::string& manifest_file,
+                                      double wait_s, bool quiet,
+                                      const exp::record_sink& sink = {});
 
 }  // namespace amo::svc

@@ -49,6 +49,12 @@ std::string to_line(const job& j) {
   if (j.batch != exp::batch_auto) out += " batch=" + std::to_string(j.batch);
   if (j.have_shard) out += " shard=" + exp::to_string(j.shard);
   if (!j.out.empty()) out += " out=" + j.out;
+  // format= only when explicit: an inferred colfmt (out=*.amoc) is already
+  // carried by the path, so canonical lines for existing jobs are unchanged.
+  if (j.have_format) {
+    out += j.format == exp::record_format::colfmt ? " format=colfmt"
+                                                  : " format=json";
+  }
   return out;
 }
 
@@ -146,6 +152,20 @@ bool parse_job_line(std::string_view text, usize line_no, job& out,
       j.out = std::string(value);
       return true;
     }
+    if (key == "format") {
+      if (value == "json") {
+        j.format = exp::record_format::json;
+      } else if (value == "colfmt") {
+        j.format = exp::record_format::colfmt;
+      } else {
+        error = line_error(line_no, "bad format= value '" +
+                                        std::string(value) +
+                                        "' (want json or colfmt)");
+        return false;
+      }
+      j.have_format = true;
+      return true;
+    }
     error = line_error(line_no, "unknown key '" + std::string(key) + "='");
     return false;
   });
@@ -156,6 +176,14 @@ bool parse_job_line(std::string_view text, usize line_no, job& out,
     // scenario are a malformed job.
     if (!any_token) return true;
     error = line_error(line_no, "job names no scenario (see amo_lab list)");
+    return false;
+  }
+  if (job_output_format(j) == exp::record_format::colfmt && j.out.empty()) {
+    // The service streams results over a text FIFO; binary colfmt only
+    // makes sense landing in a file.
+    error = line_error(line_no,
+                       "format=colfmt needs an out= file (the service "
+                       "stream is JSON text)");
     return false;
   }
   out = std::move(j);

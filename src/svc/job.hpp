@@ -14,6 +14,9 @@
 //           batch=auto|0|N  (replica-block width; execution option only —
 //           results are bit-identical at every width, so the default "auto"
 //           is omitted from canonical lines)
+//           format=json|colfmt  (output encoding; without it, an out= path
+//           ending in ".amoc" selects colfmt — so canonical lines carry
+//           format= only when it was spelled explicitly)
 //   flags:  scheduled-only  no-timing
 //
 // Blank lines and lines starting with '#' are skipped; a '#' token inside
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "exp/batch.hpp"
+#include "exp/colfmt.hpp"
 #include "exp/registry.hpp"
 #include "exp/shard.hpp"
 
@@ -44,10 +48,18 @@ struct job {
   exp::shard_ref shard;                ///< slice of the job's own grid
   usize batch = exp::batch_auto;       ///< replica-block width (0 = scalar)
   std::string out;                     ///< output path; "" = service stream
+  bool have_format = false;            ///< format= spelled explicitly
+  exp::record_format format = exp::record_format::json;
   usize line = 0;                      ///< source line, for diagnostics
 
   friend bool operator==(const job&, const job&) = default;
 };
+
+/// The format a job's output is actually written in: the explicit format=
+/// when given, else inferred from the out= extension (".amoc" = colfmt).
+[[nodiscard]] inline exp::record_format job_output_format(const job& j) {
+  return j.have_format ? j.format : exp::format_for_path(j.out);
+}
 
 /// The canonical job line: scenarios, every parameter spelled out, then
 /// flags, shard, out. parse_job_line(to_line(j)) == j, which is what lets

@@ -42,19 +42,23 @@ void finish_job(const job_result& r, const server_options& opt,
   }
   if (!r.safe) ++sum.unsafe;
 
-  const std::string json = r.render_json();
   if (!r.j.out.empty()) {
     // Through the fault-aware artifact writer (atomic when no $AMO_FAULT
     // action fires), keyed the way the fault plane addresses jobs: by
     // owned shard, else by submission line.
     const std::uint64_t key =
         r.j.have_shard ? std::uint64_t{r.j.shard.index} : std::uint64_t{r.j.line};
+    std::string content;
     std::string werr;
-    if (!write_artifact(r.j.out.c_str(), json, key, werr)) {
+    if (!r.render_output(job_output_format(r.j), content, werr) ||
+        !write_artifact(r.j.out.c_str(), content, key, werr)) {
       ++sum.io_errors;
       std::fprintf(log, "%s: %s\n", job_tag(r.j).c_str(), werr.c_str());
     }
   } else {
+    // Jobs without out= stream as JSON text (job_output_format is json
+    // whenever out= is empty; parse_job_line enforces it).
+    const std::string json = r.render_json();
     std::fputs(json.c_str(), stream);
     std::fflush(stream);
   }
@@ -102,6 +106,29 @@ std::string job_result::render_json() const {
                           extra);
   }
   return json.dump();
+}
+
+bool job_result::render_output(exp::record_format format, std::string& out,
+                               std::string& error) const {
+  const std::string json = render_json();
+  if (format == exp::record_format::json) {
+    out = json;
+    return true;
+  }
+  // Encode the very document render_json produced: decode(encode(x))
+  // reproduces every raw token, so converting the .amoc artifact back to
+  // JSON yields these exact bytes (the byte-identity invariant across the
+  // format boundary).
+  const exp::parse_result parsed = exp::parse_records(json);
+  if (!parsed.ok()) {
+    error = "cannot encode output: " + parsed.error;
+    return false;
+  }
+  if (!exp::colfmt_encode(parsed.records, out, error)) {
+    error = "cannot encode output: " + error;
+    return false;
+  }
+  return true;
 }
 
 job_result execute_job(const job& j, worker_pool& pool) {

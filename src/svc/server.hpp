@@ -67,6 +67,14 @@ struct job_result {
   /// The record JSON document for this job — the same bytes
   /// `amo_lab run <scenarios> ... --out=F` would have written.
   [[nodiscard]] std::string render_json() const;
+
+  /// The output bytes in `format`: render_json() itself for JSON; for
+  /// colfmt, that same document re-parsed and encoded — going through the
+  /// rendered JSON (rather than a parallel record builder) is what
+  /// guarantees `amo_lab convert` back to JSON reproduces the render_json
+  /// bytes exactly. False with `error` on an encode failure.
+  [[nodiscard]] bool render_output(exp::record_format format, std::string& out,
+                                   std::string& error) const;
 };
 
 /// Expands + runs one job on the pool. Never throws: scenario expansion

@@ -1,0 +1,39 @@
+// FNV-1a 64-bit — the one content hash the artifact layer uses: the
+// dispatcher's manifest checkpoints shard files by it, and every .amoc
+// header/chunk checksum is the same function (docs/record_format.md), so
+// a conforming reader needs exactly one hash implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace amo {
+
+inline constexpr std::uint64_t fnv1a64_offset = 1469598103934665603ull;
+inline constexpr std::uint64_t fnv1a64_prime = 1099511628211ull;
+
+/// Folds `s` into a running FNV-1a state (pass fnv1a64_offset to start).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_append(std::uint64_t h,
+                                                     std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= fnv1a64_prime;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64_append(fnv1a64_offset, s);
+}
+
+/// The manifest's hash spelling: 16 lowercase hex digits.
+[[nodiscard]] inline std::string fnv_hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace amo

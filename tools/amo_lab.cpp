@@ -13,14 +13,29 @@
 //       "cell" index, so `amo_lab merge` can reassemble the k shard files
 //       into the byte-identical equivalent of the unsharded sweep.
 //
-//   amo_lab merge <shard.json ...> --out=FILE
-//       Recombine shard outputs: sorts by cell index, verifies the shards
-//       agree on the grid and cover every cell exactly once (no duplicate,
-//       no gap), and writes the merged array (stdout when --out is absent).
+//   amo_lab merge <shard ...> --out=FILE
+//       Recombine shard outputs (JSON or .amoc, sniffed per file) as a
+//       STREAMING fold: .amoc shards are read chunk by chunk, so the merge
+//       holds one head record per shard plus one cell's replicas — never a
+//       full-sweep record vector. Verifies the shards agree on the grid
+//       and cover every unit exactly once (no duplicate, no gap) and
+//       writes the merged array (stdout when --out is absent). With
+//       --manifest=FILE the shard list comes from a dispatch manifest
+//       instead: the merge waits up to --wait-s for a complete
+//       checkpointed set, re-verifies every file's content hash, then
+//       folds the files the manifest names.
 //
-//   amo_lab diff <baseline.json> <candidate.json> [--tol=T]
+//   amo_lab convert <in> <out>
+//       Rewrite a record file in the other encoding (or the one --format
+//       names). Conversion is lossless both ways: every raw token
+//       round-trips, so converting a .amoc artifact to JSON reproduces
+//       the exact bytes the JSON sweep would have written, and
+//       convert(convert(x)) == x.
+//
+//   amo_lab diff <baseline> <candidate> [--tol=T]
 //       Compare two record files cell by cell (amo_lab sweeps or any
-//       BENCH_*.json) and classify every change; see exit status below.
+//       BENCH_*.json; each side may be JSON or .amoc, sniffed) and
+//       classify every change; see exit status below.
 //
 //   amo_lab serve [--jobs=FIFO] [options]
 //       Run as a resident service: one persistent worker pool, job lines
@@ -43,8 +58,10 @@
 //   amo_lab dispatch --shards=k [scenario ...] [options]
 //       Partition the sweep into k shards, launch each as a subprocess of
 //       this binary (or anything else via --command), wait, merge the
-//       shard files, and write the merged JSON to --out. With --no-timing
-//       the result is byte-identical to the one-shot sweep.
+//       shard files, and write the merged records to --out (colfmt when
+//       --format=colfmt or --out ends in ".amoc"; the shard files then
+//       travel as .amoc too). With --no-timing the result is
+//       byte-identical to the one-shot sweep — in either encoding.
 //
 //   amo_lab help
 //       This text, on stdout, exit 0 (also --help / -h).
@@ -61,7 +78,11 @@
 //                                    expanded unit space (0 <= i < k)
 //   --scheduled-only                 drop os_threads cells (hardware-timed,
 //                                    so not byte-reproducible across runs)
-//   --out=FILE                       write the unified JSON records to FILE
+//   --out=FILE                       write the unified records to FILE
+//   --format=json|colfmt             output encoding; without it, an --out
+//                                    (or convert destination) ending in
+//                                    ".amoc" selects the columnar binary
+//                                    format (docs/record_format.md)
 //   --no-timing                      omit wall_seconds from JSON (makes
 //                                    identical executions byte-identical)
 //   --check                          additionally run the sweep serially and
@@ -99,6 +120,14 @@
 //   --dir=D                          directory for the shard files
 //   --keep-shards                    do not delete the per-shard files
 //                                    (nor the resume manifest)
+// Options (merge):
+//   --manifest=FILE                  merge the shard files a dispatch
+//                                    manifest checkpointed (content-hash
+//                                    verified) instead of naming them
+//   --wait-s=T                       merge --manifest: poll up to T seconds
+//                                    for the manifest to hold a complete
+//                                    shard set (a dispatch may still be
+//                                    writing it)
 // Options (diff):
 //   --tol=T                          relative tolerance for work /
 //                                    effectiveness drift (default 0.05)
@@ -117,6 +146,7 @@
 // Exit status:
 //   run/sweep   0 = every cell safe (and --check held); 1 = violation
 //   merge       0 = merged; 2 = duplicate/gap/grid mismatch; 3 = I/O, parse
+//   convert     0 = converted; 2 = encode failure; 3 = I/O, parse
 //   diff        0 = clean or benign drift; 1 = effectiveness/work regression
 //               beyond tolerance; 2 = hard failure (new duplicates or
 //               livelocks, safety flag flipped, baseline cell missing);
@@ -134,9 +164,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exp/colfmt.hpp"
 #include "exp/diff.hpp"
 #include "exp/engine.hpp"
 #include "exp/merge.hpp"
@@ -170,6 +202,10 @@ struct cli_options {
   exp::shard_ref shard;
   double tol = 0.05;
   bool dist_test = false;  ///< diff: replica-distribution rank tests
+  bool have_format = false;           ///< --format spelled explicitly
+  exp::record_format format = exp::record_format::json;
+  std::string manifest;  ///< dispatch/merge: manifest path override
+  double wait_s = 0;     ///< merge --manifest: poll window for a full set
   std::string jobs;     ///< serve: input FIFO/file
   std::string to;       ///< submit: target FIFO/file
   usize shards = 0;     ///< dispatch: k
@@ -259,6 +295,25 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
       }
     } else if (parse_kv(a, "--inject", &v)) {
       opt.inject = v;
+    } else if (parse_kv(a, "--format", &v)) {
+      if (std::strcmp(v, "json") == 0) {
+        opt.format = exp::record_format::json;
+      } else if (std::strcmp(v, "colfmt") == 0) {
+        opt.format = exp::record_format::colfmt;
+      } else {
+        std::fprintf(stderr, "bad format '%s' (want json or colfmt)\n", v);
+        return false;
+      }
+      opt.have_format = true;
+    } else if (parse_kv(a, "--manifest", &v)) {
+      opt.manifest = v;
+    } else if (parse_kv(a, "--wait-s", &v)) {
+      char* end = nullptr;
+      opt.wait_s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.wait_s < 0) {
+        std::fprintf(stderr, "bad wait '%s' (want seconds >= 0)\n", v);
+        return false;
+      }
     } else if (std::strcmp(a, "--resume") == 0) {
       opt.resume = true;
     } else if (parse_kv(a, "--out", &v)) {
@@ -305,9 +360,16 @@ void usage(std::FILE* to) {
       "  sweep [scenario ...]           run many scenarios (default: all);\n"
       "                                 --shard=i/k runs slice i of a k-way\n"
       "                                 partition (cells with index = i mod k)\n"
-      "  merge <shard.json ...>         recombine shard outputs (byte-identical\n"
-      "                                 to the unsharded sweep; duplicate/gap\n"
-      "                                 detection)\n"
+      "  merge <shard ...>              recombine shard outputs, JSON or .amoc\n"
+      "                                 (byte-identical to the unsharded sweep;\n"
+      "                                 duplicate/gap detection; streamed cell\n"
+      "                                 by cell in bounded memory); with\n"
+      "                                 --manifest=FILE [--wait-s=T], merge the\n"
+      "                                 hash-verified shard set a dispatch\n"
+      "                                 manifest checkpointed\n"
+      "  convert <in> <out>             rewrite a record file in the other\n"
+      "                                 encoding (lossless both ways; --format\n"
+      "                                 overrides the extension inference)\n"
       "  diff <base.json> <cand.json>   classify changes cell-by-cell; exits\n"
       "                                 1 on work/effectiveness regression\n"
       "                                 beyond --tol, 2 on new duplicates/\n"
@@ -326,10 +388,11 @@ void usage(std::FILE* to) {
       "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R\n"
       "         --replicas=R --pool=P --batch-replicas=auto|0|N\n"
       "         --shard=i/k --scheduled-only\n"
-      "         --out=FILE --no-timing --check --quiet --tol=T --jobs=FILE\n"
+      "         --out=FILE --format=json|colfmt --no-timing --check --quiet\n"
+      "         --tol=T --dist-test --jobs=FILE\n"
       "         --once --heartbeat-s=T --to=FILE --shards=K --retries=R\n"
       "         --deadline-s=T --inject=SPEC --resume --command=TEMPLATE\n"
-      "         --dir=D --keep-shards\n",
+      "         --dir=D --keep-shards --manifest=FILE --wait-s=T\n",
       to);
 }
 
@@ -373,7 +436,19 @@ svc::job job_from_options(const cli_options& opt) {
   j.shard = opt.shard;
   j.batch = opt.batch;
   j.out = opt.out;
+  j.have_format = opt.have_format;
+  j.format = opt.format;
   return j;
+}
+
+/// The output encoding a command writes: the explicit --format when
+/// given, else inferred from the destination path (".amoc" = colfmt).
+exp::record_format format_for(const cli_options& opt, const std::string& path) {
+  return opt.have_format ? opt.format : exp::format_for_path(path);
+}
+
+const char* format_name(exp::record_format f) {
+  return f == exp::record_format::colfmt ? "colfmt" : "json";
 }
 
 int run_job(const svc::job& j, const cli_options& opt) {
@@ -419,8 +494,10 @@ int run_job(const svc::job& j, const cli_options& opt) {
     // fires): this is the single output point a dispatcher-launched shard
     // child writes through, keyed by the shard it owns.
     const std::uint64_t key = j.have_shard ? std::uint64_t{j.shard.index} : 0;
+    std::string content;
     std::string werr;
-    if (!svc::write_artifact(j.out.c_str(), result.render_json(), key, werr)) {
+    if (!result.render_output(svc::job_output_format(j), content, werr) ||
+        !svc::write_artifact(j.out.c_str(), content, key, werr)) {
       std::fprintf(stderr, "%s\n", werr.c_str());
       return 2;
     }
@@ -444,46 +521,115 @@ int cmd_sweep(const cli_options& opt) {
   return run_job(job_from_options(all), all);
 }
 
+/// The merge exit convention over one streamed error string: read/parse/
+/// decode failures (a path-prefixed "line N:"/"offset N:" position, or any
+/// "cannot ..." I/O message) keep the old exit 3; everything else is the
+/// merge contract itself (duplicate/gap/grid mismatch) at exit 2.
+int merge_error_exit(const std::string& e) {
+  if (e.rfind("cannot ", 0) == 0) return 3;
+  if (e.find(": line ") != std::string::npos) return 3;
+  if (e.find(": offset ") != std::string::npos) return 3;
+  return 2;
+}
+
 int cmd_merge(const cli_options& opt) {
-  if (opt.names.empty()) {
-    std::fprintf(stderr, "merge: name at least one shard file\n");
+  if (opt.names.empty() && opt.manifest.empty()) {
+    std::fprintf(stderr,
+                 "merge: name at least one shard file (or --manifest=FILE)\n");
     return 2;
   }
-  std::vector<std::vector<exp::record>> shards;
-  shards.reserve(opt.names.size());
-  for (const std::string& file : opt.names) {
-    exp::parse_result parsed = exp::parse_records_file(file.c_str());
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "amo_lab merge: %s\n", parsed.error.c_str());
-      return 3;
-    }
-    shards.push_back(std::move(parsed.records));
+  if (!opt.names.empty() && !opt.manifest.empty()) {
+    std::fprintf(stderr, "merge: --manifest replaces the shard file list; "
+                         "give one or the other\n");
+    return 2;
   }
-  const exp::merge_result merged = exp::merge_shards(shards);
+  const exp::record_format fmt = format_for(opt, opt.out);
+  if (fmt == exp::record_format::colfmt && opt.out.empty()) {
+    std::fprintf(stderr,
+                 "merge: --format=colfmt needs --out=FILE (stdout is text)\n");
+    return 2;
+  }
+
+  // The streaming fold: shard files (either format, sniffed) are consumed
+  // cell by cell, so memory is bounded by shard count — never by sweep
+  // size. Only the per-cell AGGREGATES accumulate, for the final render.
+  exp::merge_result merged;
+  usize shard_count = opt.names.size();
+  if (!opt.manifest.empty()) {
+    merged = svc::merge_from_manifest(opt.manifest, opt.wait_s, opt.quiet);
+  } else {
+    std::vector<std::unique_ptr<exp::record_source>> sources;
+    sources.reserve(opt.names.size());
+    for (const std::string& file : opt.names) {
+      sources.push_back(exp::make_file_source(file));
+    }
+    merged = exp::merge_stream(std::move(sources));
+  }
   if (!merged.ok()) {
     std::fprintf(stderr, "amo_lab merge: %s\n", merged.error.c_str());
-    return 2;
+    return merge_error_exit(merged.error);
   }
   std::string werr;
   if (opt.out.empty()) {
     std::fputs(exp::render_records(merged.records).c_str(), stdout);
-  } else if (exp::write_records_file(opt.out.c_str(), merged.records, werr)) {
-    std::printf("[%zu cells from %zu shards -> %s]\n", merged.records.size(),
-                shards.size(), opt.out.c_str());
   } else {
-    std::fprintf(stderr, "amo_lab merge: %s\n", werr.c_str());
+    std::string content;
+    if (!exp::render_records_as(merged.records, fmt, content, werr)) {
+      std::fprintf(stderr, "amo_lab merge: %s\n", werr.c_str());
+      return 2;
+    }
+    // Through the fault-aware atomic artifact path, like every other
+    // record writer in the stack (key 0: the merged whole).
+    if (!svc::write_artifact(opt.out.c_str(), content, 0, werr)) {
+      std::fprintf(stderr, "amo_lab merge: %s\n", werr.c_str());
+      return 3;
+    }
+    if (!opt.manifest.empty()) {
+      std::printf("[%zu cells via %s -> %s (%s)]\n", merged.records.size(),
+                  opt.manifest.c_str(), opt.out.c_str(), format_name(fmt));
+    } else {
+      std::printf("[%zu cells from %zu shards -> %s (%s)]\n",
+                  merged.records.size(), shard_count, opt.out.c_str(),
+                  format_name(fmt));
+    }
+  }
+  return 0;
+}
+
+int cmd_convert(const cli_options& opt) {
+  if (opt.names.size() != 2) {
+    std::fprintf(stderr, "convert: need exactly <in> <out>\n");
+    return 2;
+  }
+  // Sniffed load (either format), explicit or path-inferred target
+  // encoding. Losslessness is the format layer's contract: every raw
+  // token round-trips, so json -> colfmt -> json is byte-identical.
+  exp::parse_result parsed = exp::load_records_file(opt.names[0].c_str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "amo_lab convert: %s\n", parsed.error.c_str());
     return 3;
+  }
+  const exp::record_format fmt = format_for(opt, opt.names[1]);
+  std::string werr;
+  if (!exp::write_records_file_as(opt.names[1].c_str(), parsed.records, fmt,
+                                  werr)) {
+    std::fprintf(stderr, "amo_lab convert: %s\n", werr.c_str());
+    return werr.rfind("cannot ", 0) == 0 ? 3 : 2;
+  }
+  if (!opt.quiet) {
+    std::printf("[%zu records -> %s (%s)]\n", parsed.records.size(),
+                opt.names[1].c_str(), format_name(fmt));
   }
   return 0;
 }
 
 int cmd_diff(const cli_options& opt) {
   if (opt.names.size() != 2) {
-    std::fprintf(stderr, "diff: need exactly <baseline.json> <candidate.json>\n");
+    std::fprintf(stderr, "diff: need exactly <baseline> <candidate>\n");
     return 2;
   }
-  exp::parse_result base = exp::parse_records_file(opt.names[0].c_str());
-  exp::parse_result cand = exp::parse_records_file(opt.names[1].c_str());
+  exp::parse_result base = exp::load_records_file(opt.names[0].c_str());
+  exp::parse_result cand = exp::load_records_file(opt.names[1].c_str());
   if (!base.ok() || !cand.ok()) {
     std::fprintf(stderr, "amo_lab diff: %s\n",
                  (!base.ok() ? base.error : cand.error).c_str());
@@ -667,6 +813,15 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
   dopt.deadline_s = opt.deadline_s;
   dopt.inject = opt.inject;
   dopt.resume = opt.resume;
+  // Shard files and the merged output travel in the same encoding; the
+  // children need no extra flag — they infer colfmt from their ".amoc"
+  // --out names.
+  dopt.format = format_for(opt, opt.out);
+  if (dopt.format == exp::record_format::colfmt && opt.out.empty()) {
+    std::fprintf(stderr, "dispatch: --format=colfmt needs --out=FILE "
+                         "(stdout is text)\n");
+    return 2;
+  }
 
   const svc::dispatch_result result = svc::dispatch(args, dopt);
   if (!result.ok()) {
@@ -728,6 +883,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "sweep") return cmd_sweep(opt);
     if (cmd == "merge") return cmd_merge(opt);
+    if (cmd == "convert") return cmd_convert(opt);
     if (cmd == "diff") return cmd_diff(opt);
     if (cmd == "serve") return cmd_serve(opt);
     if (cmd == "submit") return cmd_submit(opt);
