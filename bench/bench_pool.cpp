@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "exp/sweep.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/worker_pool.hpp"
 
 namespace {
@@ -171,6 +172,51 @@ int main() {
   benchx::print_table(t);
   std::printf("\npool=%zu fixed; spawn-vs-persist > 1x means the persistent "
               "pool wins.\n", kPool);
+
+  // Telemetry-off overhead — the obs house invariant: with no session
+  // installed every probe is one branch on a null atomic, so a span +
+  // two args + a counter must cost nanoseconds, not microseconds. The
+  // 25 ns/probe gate is ~50x headroom over the measured cost on a modern
+  // core while still catching an accidental always-on allocation or lock.
+  constexpr usize kProbes = usize{1} << 21;
+  double off_ns = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    stopwatch clock;
+    for (usize i = 0; i < kProbes; ++i) {
+      obs::span sp("bench", "noop");
+      sp.arg("i", static_cast<std::uint64_t>(i));
+      obs::counter("bench", "noop", 1.0);
+    }
+    const double ns = 1e9 * clock.seconds() / static_cast<double>(kProbes);
+    if (rep == 0 || ns < off_ns) off_ns = ns;
+  }
+  const bool noop_ok = off_ns < 25.0;
+
+  // And the out-of-band half of the invariant: the same sweep with a live
+  // telemetry session produces bit-identical reports.
+  const std::vector<exp::run_spec> probe_cells = small_sweep(8, 7);
+  exp::sweep_options plain_opt;
+  plain_opt.pool_size = kPool;
+  const exp::sweep_result plain = exp::sweep(probe_cells, plain_opt);
+  exp::sweep_result traced;
+  {
+    obs::session session;
+    traced = exp::sweep(probe_cells, plain_opt);
+  }
+  const bool traced_identical = all_equivalent(plain.reports, traced.reports);
+
+  std::printf("\ntelemetry off: %.2f ns/probe (span + 2 args + counter; "
+              "gate < 25 ns) %s\n"
+              "telemetry on vs off, same sweep: %s\n",
+              off_ns, benchx::yesno(noop_ok).c_str(),
+              traced_identical ? "bit-identical" : "MISMATCH");
+
+  json.add({{"experiment", benchx::json_report::str("E_telemetry_overhead")},
+            {"scenario", benchx::json_report::str("pool/telemetry_off")},
+            {"pool", benchx::json_report::num(std::uint64_t{kPool})},
+            {"telemetry_off_ns_per_probe", benchx::json_report::num(off_ns)},
+            {"telemetry_off_noop", benchx::json_report::boolean(noop_ok)},
+            {"bit_identical", benchx::json_report::boolean(traced_identical)}});
   if (hc <= 1) {
     std::printf("NOTE: single hardware thread — both pooled modes oversubscribe "
                 "one core;\nthe spawn-vs-persist ratio still isolates thread "
@@ -182,5 +228,7 @@ int main() {
   }
   std::printf("\n[bench_pool done in %.1fs; duplicates %zu, bit-identical %s]\n",
               total.seconds(), duplicates, benchx::yesno(all_identical).c_str());
-  return (duplicates == 0 && all_identical) ? 0 : 1;
+  return (duplicates == 0 && all_identical && noop_ok && traced_identical)
+             ? 0
+             : 1;
 }

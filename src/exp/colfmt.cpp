@@ -11,6 +11,7 @@
 #endif
 
 #include "exp/report.hpp"
+#include "obs/telemetry.hpp"
 #include "util/fileio.hpp"
 #include "util/fnv.hpp"
 
@@ -855,6 +856,7 @@ bool colfmt_reader::next_chunk(std::vector<record>& out, bool& end,
   offset_ += chunk_bytes;
   ++chunks_seen_;
   records_seen_ += out.size();
+  obs::counter("merge", "chunks_read", static_cast<double>(chunks_seen_));
   if (chunks_seen_ > header_.chunk_count ||
       records_seen_ > header_.record_count) {
     error = path_ + ": offset " + std::to_string(offset_) +
@@ -927,6 +929,7 @@ bool colfmt_writer::add_chunk(const std::vector<record>& rows,
   bytes_ += chunk.size();
   record_count_ += rows.size();
   ++chunk_count_;
+  obs::counter("merge", "chunks_written", static_cast<double>(chunk_count_));
   return true;
 }
 

@@ -6,6 +6,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "exp/timing_keys.hpp"
+
 namespace amo::exp {
 
 namespace {
@@ -43,22 +45,14 @@ constexpr field_rule kRules[] = {
     {"replica", field_class::identity},
     // ignored — grid position (merge validates these; keeping them out of
     // the identity key lets sweeps of different or reordered grids still
-    // match cells by their spec echo) and timing / environment
+    // match cells by their spec echo). Timing / environment keys are NOT
+    // listed here: classify_field consults exp::timing_keys(), the table
+    // shared with merge's unit-bookkeeping strip.
     {"cell", field_class::ignored},
     {"cells_total", field_class::ignored},
     {"unit", field_class::ignored},
     {"units_total", field_class::ignored},
     {"grid", field_class::ignored},
-    {"wall_seconds", field_class::ignored},
-    {"job_wall_seconds", field_class::ignored},
-    {"job_queue_seconds", field_class::ignored},
-    {"serial_wall_seconds", field_class::ignored},
-    {"pooled_wall_seconds", field_class::ignored},
-    {"speedup", field_class::ignored},
-    {"hardware_concurrency", field_class::ignored},
-    {"serial_pool", field_class::ignored},
-    {"pooled_pool", field_class::ignored},
-    {"pool", field_class::ignored},
     // hard counters — zero tolerance for growth
     {"duplicates", field_class::hard_counter},
     {"livelocks", field_class::hard_counter},
@@ -69,6 +63,7 @@ constexpr field_rule kRules[] = {
     {"bit_identical", field_class::safety_flag},
     {"safe", field_class::safety_flag},
     {"complete", field_class::safety_flag},
+    {"telemetry_off_noop", field_class::safety_flag},
     // lower is worse — effectiveness family
     {"effectiveness", field_class::lower_worse},
     {"wa_written", field_class::lower_worse},
@@ -484,6 +479,7 @@ field_class classify_field(std::string_view name) {
   for (const field_rule& r : kRules) {
     if (r.name == name) return r.cls;
   }
+  if (is_timing_key(name)) return field_class::ignored;
   // Replica-aggregate suffixes inherit the base metric's direction:
   // effectiveness_min gates like effectiveness, work_p95 gates like work.
   // Spread (stddev) is shape, not level — reported, never gating.

@@ -8,6 +8,8 @@
 #include "exp/colfmt.hpp"
 #include "exp/report.hpp"
 #include "exp/stats.hpp"
+#include "exp/timing_keys.hpp"
+#include "obs/telemetry.hpp"
 
 namespace amo::exp {
 
@@ -226,11 +228,12 @@ bool check_unit_record(const record& rec, usize si, merge_ctx& ctx,
 /// Bookkeeping / timing keys a unit record carries that the aggregate
 /// record must not copy verbatim: positions are re-emitted, wall clocks
 /// are re-summed, per-job serve fields are job-scoped not cell-scoped.
+/// The timing half lives in exp::timing_keys(), shared with diff's
+/// classify_field so the two ignore surfaces cannot drift.
 bool is_unit_bookkeeping(const std::string& key) {
   return key == "unit" || key == "units_total" || key == "cell" ||
          key == "cells_total" || key == "replica" || key == "replicas" ||
-         key == "grid" || key == "wall_seconds" ||
-         key == "job_wall_seconds" || key == "job_queue_seconds";
+         key == "grid" || is_timing_key(key);
 }
 
 /// Reads the named numeric field of every unit into a replica-ordered
@@ -385,6 +388,8 @@ merge_result merge_stream(std::vector<std::unique_ptr<record_source>> sources,
                           const record_sink& sink, merge_schema schema) {
   merge_result out;
   const usize k = sources.size();
+  obs::span msp("merge", "merge_stream");
+  msp.arg("sources", static_cast<std::uint64_t>(k));
 
   merge_ctx ctx;
   ctx.unit_schema = schema == merge_schema::units;
@@ -412,6 +417,10 @@ merge_result merge_stream(std::vector<std::unique_ptr<record_source>> sources,
     }
     if (end) return true;
     ++seen;
+    // Strided progress gauges: cheap enough to leave in the pull loop.
+    if ((seen & 1023) == 0) {
+      obs::counter("merge", "records_in", static_cast<double>(seen));
+    }
     if (!ctx.first_seen && schema == merge_schema::sniff) {
       // The first record anywhere decides the schema: a unit record
       // always carries "unit".
@@ -445,7 +454,12 @@ merge_result merge_stream(std::vector<std::unique_ptr<record_source>> sources,
     return ctx.unit_schema ? "unit" : "cell";
   };
 
+  usize emitted = 0;  ///< merged records handed to the sink
   auto emit = [&](record&& rec) -> bool {
+    ++emitted;
+    if ((emitted & 255) == 0) {
+      obs::counter("merge", "cells_out", static_cast<double>(emitted));
+    }
     if (sink) {
       std::string err;
       if (!sink(std::move(rec), err)) {
@@ -546,6 +560,9 @@ merge_result merge_stream(std::vector<std::unique_ptr<record_source>> sources,
       ++expect_cell;
     }
   }
+
+  msp.arg("records_in", static_cast<std::uint64_t>(seen));
+  msp.arg("records_out", static_cast<std::uint64_t>(emitted));
 
   if (!ctx.first_seen) return out;  // no records anywhere: empty success
 

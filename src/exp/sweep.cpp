@@ -3,6 +3,7 @@
 #include <span>
 
 #include "exp/engine.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/worker_pool.hpp"
 #include "util/stopwatch.hpp"
 
@@ -55,9 +56,15 @@ unit_run_result run_units(const std::vector<run_spec>& cells,
     const unit_task& tk = tasks[t];
     if (tk.count == 1) {
       const unit_ref& u = units[tk.first];
+      obs::span sp("sweep", "unit");
+      sp.arg("cell", static_cast<std::uint64_t>(u.cell));
+      sp.arg("replica", static_cast<std::uint64_t>(u.replica));
       out.reports[tk.first] = run(replica_spec(cells[u.cell], u.replica));
       return;
     }
+    obs::span sp("sweep", "replica_block");
+    sp.arg("cell", static_cast<std::uint64_t>(units[tk.first].cell));
+    sp.arg("replicas", static_cast<std::uint64_t>(tk.count));
     std::vector<usize> replicas(tk.count);
     for (usize k = 0; k < tk.count; ++k) {
       replicas[k] = units[tk.first + k].replica;

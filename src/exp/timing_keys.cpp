@@ -1,0 +1,32 @@
+#include "exp/timing_keys.hpp"
+
+#include <algorithm>
+
+namespace amo::exp {
+
+namespace {
+
+constexpr std::string_view kTimingKeys[] = {
+    "wall_seconds",
+    "job_wall_seconds",
+    "job_queue_seconds",
+    "serial_wall_seconds",
+    "pooled_wall_seconds",
+    "speedup",
+    "hardware_concurrency",
+    "serial_pool",
+    "pooled_pool",
+    "pool",
+    "telemetry_off_ns_per_probe",
+};
+
+}  // namespace
+
+std::span<const std::string_view> timing_keys() { return kTimingKeys; }
+
+bool is_timing_key(std::string_view key) {
+  return std::find(std::begin(kTimingKeys), std::end(kTimingKeys), key) !=
+         std::end(kTimingKeys);
+}
+
+}  // namespace amo::exp

@@ -1,0 +1,24 @@
+// The one table of out-of-band timing/environment record keys.
+//
+// These keys describe how fast or where a run executed, never what it
+// computed, so they are exempt from the byte-identity contract: `diff`
+// classifies them ignored and `merge` strips them from unit records
+// before folding cell aggregates. They used to be two hand-copied lists
+// in diff.cpp and merge.cpp — a new key added to one and not the other
+// silently either failed diffs on timing noise or leaked per-unit wall
+// clocks into aggregate records. docs/json_schema.md documents the
+// current membership.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace amo::exp {
+
+/// Every out-of-band timing/environment key, schema order.
+[[nodiscard]] std::span<const std::string_view> timing_keys();
+
+/// True when `key` is in timing_keys().
+[[nodiscard]] bool is_timing_key(std::string_view key);
+
+}  // namespace amo::exp

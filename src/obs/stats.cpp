@@ -1,0 +1,145 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exp/report.hpp"
+#include "exp/stats.hpp"
+#include "util/table.hpp"
+
+namespace amo::obs {
+
+trace_summary summarize_trace(const std::vector<trace_event>& events,
+                              std::uint64_t dropped) {
+  trace_summary s;
+  s.dropped = dropped;
+  // std::map keys give the deterministic cat/name tie-break for free.
+  std::map<std::pair<std::string, std::string>, std::vector<double>> span_durs;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> instant_counts;
+  std::map<std::pair<std::string, std::string>, counter_stats> counters;
+  std::set<int> pids;
+  std::set<std::pair<int, int>> threads;
+  double t0 = 0.0, t1 = 0.0;
+  bool have_span = false;
+  for (const trace_event& e : events) {
+    if (e.ph == 'M') continue;
+    ++s.events;
+    pids.insert(e.pid);
+    threads.insert({e.pid, e.tid});
+    if (e.ph == 'X') {
+      ++s.spans;
+      span_durs[{e.cat, e.name}].push_back(e.dur_us);
+      if (!have_span || e.ts_us < t0) t0 = e.ts_us;
+      if (!have_span || e.ts_us + e.dur_us > t1) t1 = e.ts_us + e.dur_us;
+      have_span = true;
+    } else if (e.ph == 'i' || e.ph == 'I') {
+      ++s.instants;
+      ++instant_counts[{e.cat, e.name}];
+    } else if (e.ph == 'C') {
+      counter_stats& c = counters[{e.cat, e.name}];
+      const double v = e.has_value ? e.counter_value : 0.0;
+      ++c.samples;
+      c.last = v;
+      if (c.samples == 1 || v > c.peak) c.peak = v;
+    }
+  }
+  s.processes = pids.size();
+  s.threads = threads.size();
+  s.wall_us = have_span ? t1 - t0 : 0.0;
+  for (const auto& [key, durs] : span_durs) {
+    const exp::metric_summary m = exp::summarize(durs);
+    stage_stats st;
+    st.cat = key.first;
+    st.name = key.second;
+    st.count = durs.size();
+    for (double d : durs) st.total_us += d;
+    st.min_us = m.min;
+    st.mean_us = m.mean;
+    st.max_us = m.max;
+    st.p50_us = m.p50;
+    st.p95_us = m.p95;
+    s.stages.push_back(std::move(st));
+  }
+  for (const auto& [key, n] : instant_counts) {
+    stage_stats st;  // instants: count only, every duration stays zero
+    st.cat = key.first;
+    st.name = key.second;
+    st.count = n;
+    s.stages.push_back(std::move(st));
+  }
+  std::stable_sort(s.stages.begin(), s.stages.end(),
+                   [](const stage_stats& a, const stage_stats& b) {
+                     if (a.total_us != b.total_us) return a.total_us > b.total_us;
+                     if (a.cat != b.cat) return a.cat < b.cat;
+                     return a.name < b.name;
+                   });
+  for (auto& [key, c] : counters) {
+    c.cat = key.first;
+    c.name = key.second;
+    s.counters.push_back(c);
+  }
+  return s;
+}
+
+std::string render_summary_table(const trace_summary& s) {
+  std::string out;
+  out += "trace: " + fmt_count(s.events) + " events (" + fmt_count(s.spans) +
+         " spans, " + fmt_count(s.instants) + " instants), " +
+         std::to_string(s.processes) + " process(es), " +
+         std::to_string(s.threads) + " thread(s), dropped " +
+         fmt_count(s.dropped) + "\n";
+  out += "wall: " + fmt(s.wall_us / 1000.0, 3) + " ms\n";
+  if (!s.stages.empty()) {
+    out += "\n";
+    text_table t({"stage", "count", "total_ms", "mean_us", "p50_us", "p95_us",
+                  "max_us"});
+    for (const stage_stats& st : s.stages) {
+      t.add_row({st.cat + "/" + st.name, fmt_count(st.count),
+                 fmt(st.total_us / 1000.0, 3), fmt(st.mean_us, 1),
+                 fmt(st.p50_us, 1), fmt(st.p95_us, 1), fmt(st.max_us, 1)});
+    }
+    out += t.render();
+  }
+  if (!s.counters.empty()) {
+    out += "\n";
+    text_table t({"counter", "samples", "last", "peak"});
+    for (const counter_stats& c : s.counters) {
+      t.add_row({c.cat + "/" + c.name, fmt_count(c.samples), fmt(c.last, 3),
+                 fmt(c.peak, 3)});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+std::string render_summary_json(const trace_summary& s) {
+  using exp::json_writer;
+  json_writer w;
+  w.add({{"events", json_writer::num(s.events)},
+         {"spans", json_writer::num(s.spans)},
+         {"instants", json_writer::num(s.instants)},
+         {"processes", json_writer::num(static_cast<std::uint64_t>(s.processes))},
+         {"threads", json_writer::num(static_cast<std::uint64_t>(s.threads))},
+         {"dropped_events", json_writer::num(s.dropped)},
+         {"wall_us", json_writer::num(s.wall_us)}});
+  for (const stage_stats& st : s.stages) {
+    w.add({{"stage", json_writer::str(st.cat + "/" + st.name)},
+           {"count", json_writer::num(st.count)},
+           {"total_us", json_writer::num(st.total_us)},
+           {"min_us", json_writer::num(st.min_us)},
+           {"mean_us", json_writer::num(st.mean_us)},
+           {"max_us", json_writer::num(st.max_us)},
+           {"p50_us", json_writer::num(st.p50_us)},
+           {"p95_us", json_writer::num(st.p95_us)}});
+  }
+  for (const counter_stats& c : s.counters) {
+    w.add({{"counter", json_writer::str(c.cat + "/" + c.name)},
+           {"samples", json_writer::num(c.samples)},
+           {"last", json_writer::num(c.last)},
+           {"peak", json_writer::num(c.peak)}});
+  }
+  return w.dump();
+}
+
+}  // namespace amo::obs

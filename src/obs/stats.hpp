@@ -1,0 +1,66 @@
+// Folds a parsed trace (obs::trace_read) into the per-stage summary
+// behind `amo_lab stats TRACE`: one row per (category, name) span stage
+// with count and duration distribution, one row per counter with its
+// last/peak sample, plus whole-trace totals. Two renderers: an aligned
+// text table for humans and flat JSON records (exp::json_writer shape)
+// for tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_read.hpp"
+#include "util/types.hpp"
+
+namespace amo::obs {
+
+/// Duration distribution of one span stage, microseconds.
+struct stage_stats {
+  std::string cat;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+/// One counter series: how many samples arrived, the final and the peak
+/// value (cumulative counters like pool/steals make "last" the total).
+struct counter_stats {
+  std::string cat;
+  std::string name;
+  std::uint64_t samples = 0;
+  double last = 0.0;
+  double peak = 0.0;
+};
+
+struct trace_summary {
+  std::uint64_t events = 0;    ///< all non-metadata events
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  usize processes = 0;         ///< distinct pids seen
+  usize threads = 0;           ///< distinct (pid, tid) pairs seen
+  std::uint64_t dropped = 0;   ///< ring-overflow drops (otherData)
+  double wall_us = 0.0;        ///< max span end − min span begin
+  std::vector<stage_stats> stages;      ///< sorted by total_us, descending
+  std::vector<counter_stats> counters;  ///< sorted by cat/name
+};
+
+/// Folds parsed events into the summary. Deterministic: ties in the
+/// total_us ordering break on cat/name.
+[[nodiscard]] trace_summary summarize_trace(
+    const std::vector<trace_event>& events, std::uint64_t dropped);
+
+/// Human-readable rendering: a totals header then the stage and counter
+/// tables.
+[[nodiscard]] std::string render_summary_table(const trace_summary& s);
+
+/// Machine-readable rendering: one header record, one record per stage
+/// ("stage": "cat/name"), one per counter ("counter": "cat/name").
+[[nodiscard]] std::string render_summary_json(const trace_summary& s);
+
+}  // namespace amo::obs

@@ -1,0 +1,236 @@
+// obs::telemetry — the out-of-band observability layer: per-thread
+// ring-buffered spans, counters, and instants, exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// The design constraints come from the house invariant (docs/
+// observability.md): telemetry must never touch a record or report stream
+// — byte-identity across pool sizes, shards, and dispatch holds with
+// tracing on or off — and a DISABLED probe must compile down to a branch
+// on null. There is one global `std::atomic<telemetry*>`; every probe
+// (span ctor, counter(), instant()) loads it once and does nothing when
+// no session is installed: no lock, no allocation, no clock read
+// (gated at < 25 ns/probe in bench_pool).
+//
+// When a session IS active, each emitting thread registers one
+// thread_buffer on first use (cached thread_local, keyed by a session
+// generation so a later session re-registers cleanly). Buffers are
+// fixed-capacity rings with flight-recorder overflow: the newest events
+// win, the drop count is reported in the export's otherData. Each buffer
+// has its own mutex — held only by its owner per emit and by the exporter
+// at the end — so concurrent emission from pool workers is wait-free
+// against each other and TSan-clean (tests/test_obs.cpp).
+//
+// Timestamps are raw CLOCK_MONOTONIC (std::steady_clock) nanoseconds. On
+// Linux that clock is system-wide since boot, which is what lets a
+// dispatcher stitch its children's trace shards into one timeline with no
+// clock translation: every process exports with pid 0, and the parent
+// remaps each attached child file to pid 1..k (svc::dispatcher).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace amo::obs {
+
+/// Raw monotonic nanoseconds (CLOCK_MONOTONIC via std::steady_clock):
+/// comparable across the processes of one host, the stitching premise.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// One span/instant argument. `value` is plain text; the exporter escapes
+/// it into a JSON string.
+struct arg {
+  std::string key;
+  std::string value;
+};
+
+/// One recorded telemetry event. `cat` and `name` must be string literals
+/// (or otherwise outlive the session) — events store the pointers.
+struct event {
+  enum class kind : std::uint8_t { span, counter, instant };
+  kind k = kind::span;
+  const char* cat = "";
+  const char* name = "";
+  std::uint64_t ts_ns = 0;   ///< begin (span) or emission time
+  std::uint64_t dur_ns = 0;  ///< span only
+  double value = 0.0;        ///< counter only
+  std::vector<arg> args;     ///< span/instant only
+};
+
+/// One thread's flight-recorder ring. `mu` serializes the owner's emits
+/// against the exporter; distinct threads never share a buffer.
+struct thread_buffer {
+  std::mutex mu;
+  usize tid = 0;      ///< registration order within the session
+  std::string name;   ///< thread_name metadata; "" until set_thread_name
+  std::vector<event> ring;
+  usize wrap = 0;     ///< once full: index of the oldest (next overwritten)
+  std::uint64_t recorded = 0;  ///< total emits, kept + overwritten
+};
+
+/// A child process's trace file to splice into this session's export,
+/// pid-remapped in attachment order (svc::dispatcher registers one per
+/// launched shard).
+struct child_trace {
+  std::string path;
+  std::string name;   ///< process_name metadata for the remapped pid
+  bool remove_after_stitch = false;
+};
+
+/// The event sink one session owns. Probes reach it through the global
+/// active pointer; everything here is thread-safe.
+class telemetry {
+ public:
+  explicit telemetry(usize ring_capacity);
+
+  telemetry(const telemetry&) = delete;
+  telemetry& operator=(const telemetry&) = delete;
+
+  /// Records one event into the calling thread's ring (registering the
+  /// thread on first use). Overwrites the oldest event when full.
+  void emit(event e);
+
+  /// Names the calling thread for the export's thread_name metadata.
+  /// First write wins, so a pool worker can re-announce itself per batch
+  /// without churning the name.
+  void name_thread(std::string_view name);
+
+  /// Registers a child trace file for export-time stitching.
+  void attach_child_trace(std::string path, std::string name,
+                          bool remove_after_stitch);
+
+  [[nodiscard]] usize ring_capacity() const { return capacity_; }
+
+  /// Events dropped to ring overflow across all threads, so far.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  friend std::string export_json(telemetry& t, const struct export_options&);
+  friend bool export_file(telemetry& t, const char* path,
+                          const struct export_options& opt, std::string& error);
+
+  thread_buffer& local();
+
+  usize capacity_;
+  std::uint64_t generation_;  ///< keys the thread_local buffer cache
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<thread_buffer>> buffers_;
+  std::vector<child_trace> children_;
+};
+
+namespace detail {
+extern std::atomic<telemetry*> g_active;
+}  // namespace detail
+
+/// The active session's sink, or nullptr — the branch every disabled
+/// probe reduces to.
+[[nodiscard]] inline telemetry* active() {
+  return detail::g_active.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool enabled() { return active() != nullptr; }
+
+/// RAII session: installs a fresh telemetry sink globally on construction
+/// and uninstalls it on destruction. If another session is already active
+/// the new one stays inert (installed() == false) — probes keep feeding
+/// the first. amo_lab creates one when --trace-out is given.
+class session {
+ public:
+  static constexpr usize default_ring_capacity = 1u << 16;  ///< per thread
+
+  explicit session(usize ring_capacity = default_ring_capacity);
+  ~session();
+
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  [[nodiscard]] bool installed() const { return installed_; }
+  [[nodiscard]] telemetry& sink() { return *t_; }
+
+ private:
+  std::unique_ptr<telemetry> t_;
+  bool installed_ = false;
+};
+
+/// RAII span probe: the constructor snapshots the active sink (null = the
+/// whole object is inert), the destructor emits one complete ("X") event.
+/// arg() attaches key/value context; every overload is a no-op when
+/// disabled, including the value formatting.
+class span {
+ public:
+  span(const char* cat, const char* name) : t_(active()), cat_(cat), name_(name) {
+    if (t_ != nullptr) begin_ = now_ns();
+  }
+  ~span() {
+    if (t_ != nullptr) finish();
+  }
+
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+  void arg(const char* key, std::string_view value) {
+    if (t_ != nullptr) add(key, std::string(value));
+  }
+  void arg(const char* key, std::uint64_t value) {
+    if (t_ != nullptr) add(key, std::to_string(value));
+  }
+  void arg(const char* key, double value);
+
+ private:
+  void add(const char* key, std::string value);
+  void finish() noexcept;
+
+  telemetry* t_;
+  const char* cat_;
+  const char* name_;
+  std::uint64_t begin_ = 0;
+  std::vector<obs::arg> args_;
+};
+
+/// Emits one counter ("C") sample. Inline null check first: a disabled
+/// counter in a hot loop costs the load and the compare.
+void counter_emit(telemetry& t, const char* cat, const char* name,
+                  double value);
+inline void counter(const char* cat, const char* name, double value) {
+  if (telemetry* t = active()) counter_emit(*t, cat, name, value);
+}
+
+/// Emits one instant ("i") event with optional args. The argument pairs
+/// are string_views, so call sites pay no allocation when disabled —
+/// though anything computed to PRODUCE the views should still sit behind
+/// obs::enabled() on hot paths.
+void instant(const char* cat, const char* name,
+             std::initializer_list<std::pair<std::string_view, std::string_view>>
+                 args = {});
+
+/// Names the calling thread in the active session (no-op when disabled).
+void set_thread_name(std::string_view name);
+
+struct export_options {
+  /// process_name metadata for this process's events (pid 0).
+  std::string process_name;
+};
+
+/// Renders the session's events (plus any attached child traces, pid
+/// 1..k in attachment order) as one Chrome trace-event JSON document —
+/// one event per line, which is what makes the textual child splice
+/// reliable. Unreadable child files are skipped and counted in otherData.
+[[nodiscard]] std::string export_json(telemetry& t,
+                                      const export_options& opt = {});
+
+/// export_json + atomic file write; child files flagged
+/// remove_after_stitch are deleted after a successful write. False with
+/// `error` ("cannot ...") on I/O failure.
+[[nodiscard]] bool export_file(telemetry& t, const char* path,
+                               const export_options& opt, std::string& error);
+
+}  // namespace amo::obs

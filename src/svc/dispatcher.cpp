@@ -10,6 +10,7 @@
 
 #include "exp/merge.hpp"
 #include "exp/report.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/fault.hpp"
 #include "util/fileio.hpp"
 #include "util/fnv.hpp"
@@ -117,15 +118,19 @@ void run_supervised(shard_run& run, double deadline_s, double term_grace_s,
                      : steady::time_point::max();
   int sig_next = SIGTERM;
   const auto escalate = [&]() -> bool {  // false: chain exhausted
+    if (sig_next != SIGTERM && sig_next != SIGKILL) return false;
+    if (obs::enabled()) {
+      obs::instant("dispatch", "escalate",
+                   {{"shard", exp::to_string(run.shard)},
+                    {"signal", sig_next == SIGTERM ? "SIGTERM" : "SIGKILL"}});
+    }
     if (sig_next == SIGTERM) {
       run.timed_out = true;
       signal_group(pid, SIGTERM);
       sig_next = SIGKILL;
-    } else if (sig_next == SIGKILL) {
+    } else {
       signal_group(pid, SIGKILL);
       sig_next = 0;
-    } else {
-      return false;
     }
     stage_end = steady::now() + secs(grace);
     return true;
@@ -340,6 +345,8 @@ std::string signal_name(int sig) {
 
 dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
   dispatch_result out;
+  obs::span dsp("dispatch", "dispatch");
+  dsp.arg("shards", static_cast<std::uint64_t>(opt.shards));
   if (opt.shards == 0) {
     out.error = "dispatch: need at least one shard";
     out.exit_code = 2;
@@ -365,6 +372,12 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
                (opt.format == exp::record_format::colfmt ? ".amoc" : ".json");
     run.command =
         expand_command(opt.command, opt.self, args, run.shard, run.file);
+    if (opt.trace) {
+      // The child's trace shard rides next to its record file; the export
+      // step stitches it into the parent's timeline as pid i+1.
+      run.trace_file = run.file + ".trace.json";
+      run.command += " --trace-out=" + run.trace_file;
+    }
   }
 
   // The checkpoint identity: a manifest entry may only satisfy a dispatch
@@ -397,13 +410,20 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
       std::vector<std::jthread> launchers;
       launchers.reserve(todo.size());
       for (shard_run* run : todo) {
-        if (wave > 0 && !opt.quiet) {
-          std::fprintf(stderr,
-                       "dispatch: retrying shard %s (%s%s%s), attempt %zu of "
-                       "%zu\n",
-                       exp::to_string(run->shard).c_str(), run->status.c_str(),
-                       run->detail.empty() ? "" : ": ", run->detail.c_str(),
-                       run->attempts + 1, opt.retries + 1);
+        if (wave > 0) {
+          if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "dispatch: retrying shard %s (%s%s%s), attempt %zu of "
+                         "%zu\n",
+                         exp::to_string(run->shard).c_str(), run->status.c_str(),
+                         run->detail.empty() ? "" : ": ", run->detail.c_str(),
+                         run->attempts + 1, opt.retries + 1);
+          }
+          if (obs::enabled()) {
+            obs::instant("dispatch", "retry",
+                         {{"shard", exp::to_string(run->shard)},
+                          {"status", run->status}});
+          }
         }
         run->output.clear();
         run->detail.clear();
@@ -417,13 +437,19 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
         }
         launchers.emplace_back(
             [run, &opt, env = std::move(env_add)] {
+              obs::span asp("dispatch", "shard_attempt");
+              asp.arg("shard", std::uint64_t{run->shard.index});
+              asp.arg("attempt", static_cast<std::uint64_t>(run->attempts));
               run_supervised(*run, opt.deadline_s, opt.term_grace_s, env);
+              asp.arg("status", std::string_view(run->status));
             });
       }
     }  // join
 
     for (shard_run* run : todo) {
       if (run->exit_code != 0 && run->exit_code != 1) continue;  // retryable
+      obs::span vsp("dispatch", "verify");
+      vsp.arg("shard", std::uint64_t{run->shard.index});
       std::string content;
       std::string err;
       if (!read_file(run->file.c_str(), content, err)) {
@@ -446,7 +472,25 @@ dispatch_result dispatch(const std::string& args, const dispatch_options& opt) {
 
     // Checkpoint after every wave: if THIS process dies next, --resume
     // picks up from here.
-    write_manifest(manifest, out.shards, args_fp);
+    {
+      obs::span csp("dispatch", "checkpoint");
+      write_manifest(manifest, out.shards, args_fp);
+    }
+  }
+
+  if (opt.trace) {
+    // Register every trace shard a child produced this dispatch (reused
+    // shards did not run, so they wrote none) for export-time stitching —
+    // including the failure paths below, so a half-failed dispatch still
+    // exports the timelines of the shards that DID run.
+    if (obs::telemetry* t = obs::active()) {
+      for (const shard_run& run : out.shards) {
+        if (run.reused || run.trace_file.empty()) continue;
+        t->attach_child_trace(run.trace_file,
+                              "amo_lab shard " + exp::to_string(run.shard),
+                              /*remove_after_stitch=*/!opt.keep_shards);
+      }
+    }
   }
 
   int worst = 0;

@@ -81,13 +81,20 @@ struct dispatch_options {
   /// in bounded memory; validation, checkpointing, retries, and the
   /// byte-identity of the merged records are format-independent.
   exp::record_format format = exp::record_format::json;
+  /// Telemetry fan-out: each child also gets `--trace-out=<shard
+  /// file>.trace.json`, and every shard that ran this dispatch has its
+  /// trace attached to the active obs session for export-time stitching
+  /// into the parent's timeline (child i becomes pid i+1). Child trace
+  /// files follow keep_shards. No effect on the record outputs.
+  bool trace = false;
 };
 
 /// One launched shard subprocess.
 struct shard_run {
   exp::shard_ref shard;
-  std::string file;     ///< the shard's --out file
-  std::string command;  ///< the expanded command line
+  std::string file;        ///< the shard's --out file
+  std::string command;     ///< the expanded command line
+  std::string trace_file;  ///< child trace shard (dispatch_options::trace)
   int exit_code = -1;   ///< decoded exit status (-1: could not launch)
   int term_signal = 0;  ///< nonzero: the signal that killed the child
   bool timed_out = false;   ///< the deadline expired and the group was killed

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "util/fileio.hpp"
 #include "util/parse.hpp"
 #include "util/prng.hpp"
@@ -201,6 +202,12 @@ bool write_artifact(const char* path, std::string_view content,
                     std::uint64_t key, std::string& error) {
   const fault_action a = plan_action(env_fault_plan(), key, env_fault_attempt());
   if (a.fires()) {
+    // Emitted BEFORE the action applies: crash/hang never return, and the
+    // trace is exactly where an injected death needs to be visible.
+    if (obs::enabled()) {
+      obs::instant("fault", "inject",
+                   {{"action", to_spec(a)}, {"key", std::to_string(key)}});
+    }
     apply_pre_write(a);  // crash and hang do not come back from this
     if (a.kind == fault_kind::torn || a.kind == fault_kind::corrupt) {
       std::string bytes(content);

@@ -13,6 +13,7 @@
 #include "exp/report.hpp"
 #include "exp/shard.hpp"
 #include "exp/sweep.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/fault.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/worker_pool.hpp"
@@ -37,30 +38,36 @@ void finish_job(const job_result& r, const server_options& opt,
   ++sum.jobs;
   if (!r.ok()) {
     ++sum.failed;
-    std::fprintf(log, "%s: ERROR %s\n", job_tag(r.j).c_str(), r.error.c_str());
+    if (r.timed_out) ++sum.timeouts;
+    std::fprintf(log, "%s: %s %s\n", job_tag(r.j).c_str(),
+                 r.timed_out ? "TIMEOUT" : "ERROR", r.error.c_str());
     return;
   }
   if (!r.safe) ++sum.unsafe;
 
-  if (!r.j.out.empty()) {
-    // Through the fault-aware artifact writer (atomic when no $AMO_FAULT
-    // action fires), keyed the way the fault plane addresses jobs: by
-    // owned shard, else by submission line.
-    const std::uint64_t key =
-        r.j.have_shard ? std::uint64_t{r.j.shard.index} : std::uint64_t{r.j.line};
-    std::string content;
-    std::string werr;
-    if (!r.render_output(job_output_format(r.j), content, werr) ||
-        !write_artifact(r.j.out.c_str(), content, key, werr)) {
-      ++sum.io_errors;
-      std::fprintf(log, "%s: %s\n", job_tag(r.j).c_str(), werr.c_str());
+  {
+    obs::span wsp("svc", "write");
+    if (!r.j.out.empty()) {
+      wsp.arg("out", std::string_view(r.j.out));
+      // Through the fault-aware artifact writer (atomic when no $AMO_FAULT
+      // action fires), keyed the way the fault plane addresses jobs: by
+      // owned shard, else by submission line.
+      const std::uint64_t key =
+          r.j.have_shard ? std::uint64_t{r.j.shard.index} : std::uint64_t{r.j.line};
+      std::string content;
+      std::string werr;
+      if (!r.render_output(job_output_format(r.j), content, werr) ||
+          !write_artifact(r.j.out.c_str(), content, key, werr)) {
+        ++sum.io_errors;
+        std::fprintf(log, "%s: %s\n", job_tag(r.j).c_str(), werr.c_str());
+      }
+    } else {
+      // Jobs without out= stream as JSON text (job_output_format is json
+      // whenever out= is empty; parse_job_line enforces it).
+      const std::string json = r.render_json();
+      std::fputs(json.c_str(), stream);
+      std::fflush(stream);
     }
-  } else {
-    // Jobs without out= stream as JSON text (job_output_format is json
-    // whenever out= is empty; parse_job_line enforces it).
-    const std::string json = r.render_json();
-    std::fputs(json.c_str(), stream);
-    std::fflush(stream);
   }
 
   if (!opt.quiet) {
@@ -162,6 +169,10 @@ job_result execute_job(const job& j, worker_pool& pool) {
   // stays byte-identical to the unsharded job (the pre-replica behaviour).
   r.sharded = j.have_shard && j.shard.count > 1;
 
+  obs::span jsp("svc", "job");
+  jsp.arg("cells", static_cast<std::uint64_t>(r.cells_total));
+  jsp.arg("units", static_cast<std::uint64_t>(r.units_total));
+
   try {
     if (r.sharded) {
       // A strict slice of the replica-expanded unit space: run exactly the
@@ -180,6 +191,18 @@ job_result execute_job(const job& j, worker_pool& pool) {
       r.pool_used = r.swept.pool_size;
       r.wall_seconds = r.swept.wall_seconds;
     }
+  } catch (const batch_cancelled& e) {
+    // The stall watchdog's deadline action: the partial results are
+    // discarded (a partial sweep must never render as a full one) and the
+    // job fails with the timeout class.
+    r.timed_out = true;
+    r.error = std::string("deadline action cancelled the batch (") + e.what() +
+              ")";
+    r.swept = {};
+    r.unit_reports.clear();
+    r.units.clear();
+    jsp.arg("status", std::string_view("timeout"));
+    return r;
   } catch (const std::exception& e) {
     r.error = e.what();
     r.swept = {};
@@ -221,6 +244,7 @@ serve_summary serve(std::istream& in, worker_pool& pool,
   job_queue queue;
   std::mutex reject_mu;  // guards sum.rejected + log writes from the reader
   std::jthread reader([&] {
+    obs::set_thread_name("serve reader");
     std::string line;
     usize line_no = 0;
     while (std::getline(in, line)) {
@@ -228,7 +252,12 @@ serve_summary serve(std::istream& in, worker_pool& pool,
       job j;
       bool has_job = false;
       std::string error;
-      if (!parse_job_line(line, line_no, j, has_job, error)) {
+      bool ok = false;
+      {
+        obs::span psp("svc", "parse_job");
+        ok = parse_job_line(line, line_no, j, has_job, error);
+      }
+      if (!ok) {
         std::lock_guard<std::mutex> lk(reject_mu);
         ++sum.rejected;
         std::fprintf(log, "serve: %s\n", error.c_str());
@@ -240,37 +269,102 @@ serve_summary serve(std::istream& in, worker_pool& pool,
   });
 
   // Progress watchdog: a long-running serve must be able to tell a big job
-  // from a stuck one. Every heartbeat_s it reads the pool's progress
-  // snapshot and names the current job; an unmoved unit counter between
-  // two beats is called out as possibly stuck (the units themselves are
-  // deterministic compute — no progress means no progress).
+  // from a stuck one. Every beat it reads the pool's progress snapshot and
+  // names the current job; an unmoved unit counter between two beats is
+  // called out as possibly stuck (the units themselves are deterministic
+  // compute — no progress means no progress). With stall_s set the
+  // watchdog additionally has a deadline action: once the counter has not
+  // moved for stall_s it cancels the pool batch, failing the job with the
+  // timeout class instead of letting it hang forever.
   std::mutex hb_mu;
   std::condition_variable hb_cv;
   bool hb_stop = false;
   std::string hb_current;  // under hb_mu; empty = between jobs
   std::jthread watchdog;
-  if (opt.heartbeat_s > 0) {
-    watchdog = std::jthread([&] {
+  if (opt.heartbeat_s > 0 || opt.stall_s > 0) {
+    // The beat must sample at least twice per stall window or a stall
+    // could go a full extra beat undetected.
+    double beat = opt.heartbeat_s > 0 ? opt.heartbeat_s : opt.stall_s / 2;
+    if (opt.stall_s > 0 && opt.stall_s / 2 < beat) beat = opt.stall_s / 2;
+    watchdog = std::jthread([&, beat] {
+      obs::set_thread_name("serve watchdog");
       usize last_done = 0;
       bool last_idle = true;
-      std::unique_lock<std::mutex> lk(hb_mu);
-      while (!hb_cv.wait_for(lk,
-                             std::chrono::duration<double>(opt.heartbeat_s),
-                             [&] { return hb_stop; })) {
-        const std::string current = hb_current;
-        lk.unlock();
-        if (current.empty()) {
+      auto last_change = std::chrono::steady_clock::now();
+      double since_report = opt.heartbeat_s;  // first beat always reports
+      const auto report = [&](const std::string& current,
+                              const pool_progress* p, bool stuck,
+                              bool cancelled, double stalled_for) {
+        if (opt.json_heartbeat) {
+          std::string line = "{\"heartbeat\":true";
+          if (p == nullptr) {
+            line += ",\"idle\":true";
+          } else {
+            line += ",\"job\":" + exp::json_writer::str(current);
+            line += ",\"units_done\":" + std::to_string(p->tasks_done);
+            line += ",\"units_total\":" + std::to_string(p->tasks_total);
+            line += ",\"workers\":" + std::to_string(pool.size());
+            line += ",\"batch_seconds\":" +
+                    exp::json_writer::num(p->batch_seconds);
+            line += ",\"stalled\":";
+            line += stuck ? "true" : "false";
+            if (cancelled) {
+              line += ",\"action\":\"cancel\",\"stalled_seconds\":" +
+                      exp::json_writer::num(stalled_for);
+            }
+          }
+          line += "}\n";
+          std::fputs(line.c_str(), log);
+        } else if (p == nullptr) {
           std::fprintf(log, "serve: heartbeat: idle\n");
-          last_idle = true;
+        } else if (cancelled) {
+          std::fprintf(log,
+                       "serve: heartbeat: %s: NO PROGRESS for %.1fs at "
+                       "%zu/%zu units — cancelling batch (stall_s=%g)\n",
+                       current.c_str(), stalled_for, p->tasks_done,
+                       p->tasks_total, opt.stall_s);
         } else {
-          const pool_progress p = pool.progress();
-          const bool stuck = !last_idle && p.tasks_done == last_done;
           std::fprintf(log,
                        "serve: heartbeat: %s: %zu/%zu units on %zu workers, "
                        "%.1fs in batch%s\n",
-                       current.c_str(), p.tasks_done, p.tasks_total, p.active,
-                       p.batch_seconds,
+                       current.c_str(), p->tasks_done, p->tasks_total,
+                       pool.size(), p->batch_seconds,
                        stuck ? " — NO PROGRESS since last heartbeat" : "");
+        }
+      };
+      std::unique_lock<std::mutex> lk(hb_mu);
+      while (!hb_cv.wait_for(lk, std::chrono::duration<double>(beat),
+                             [&] { return hb_stop; })) {
+        const std::string current = hb_current;
+        lk.unlock();
+        const auto now = std::chrono::steady_clock::now();
+        since_report += beat;
+        const bool report_due =
+            opt.heartbeat_s > 0 && since_report + 1e-9 >= opt.heartbeat_s;
+        if (current.empty()) {
+          last_idle = true;
+          last_change = now;
+          if (report_due) {
+            report("", nullptr, false, false, 0.0);
+            since_report = 0;
+          }
+        } else {
+          const pool_progress p = pool.progress();
+          if (last_idle || p.tasks_done != last_done) last_change = now;
+          const double stalled_for =
+              std::chrono::duration<double>(now - last_change).count();
+          const bool stuck = !last_idle && p.tasks_done == last_done;
+          bool cancelled = false;
+          if (opt.stall_s > 0 && p.active && stalled_for >= opt.stall_s) {
+            pool.cancel();
+            cancelled = true;
+            obs::instant("svc", "stall_cancel", {{"job", current}});
+            last_change = now;  // one action per stall, not one per beat
+          }
+          if (report_due || cancelled) {
+            report(current, &p, stuck, cancelled, stalled_for);
+            since_report = 0;
+          }
           last_done = p.tasks_done;
           last_idle = false;
         }
@@ -283,6 +377,7 @@ serve_summary serve(std::istream& in, worker_pool& pool,
   job j;
   double queued_seconds = 0.0;
   while (queue.pop(j, queued_seconds)) {
+    obs::counter("svc", "queue_seconds", queued_seconds);
     {
       std::lock_guard<std::mutex> lk(hb_mu);
       hb_current = job_tag(j);

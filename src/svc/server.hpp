@@ -55,6 +55,7 @@ struct job_result {
   double wall_seconds = 0.0; ///< executing the job
   double queue_seconds = 0.0;///< serve: parse-to-execute latency (0 in batch)
   bool safe = true;          ///< every executed replica at_most_once
+  bool timed_out = false;    ///< error came from a cancelled (stalled) batch
   std::string error;         ///< non-empty: the job did not run
 
   [[nodiscard]] bool ok() const { return error.empty(); }
@@ -90,6 +91,15 @@ struct server_options {
   /// stuck-job warning when the counter has not moved since the previous
   /// beat. 0 = no watchdog.
   double heartbeat_s = 0.0;
+  /// serve only: the watchdog's deadline action. When the unit counter of
+  /// an active batch has not moved for `stall_s` seconds, the watchdog
+  /// cancels the pool batch (worker_pool::cancel) and the job fails with
+  /// the timeout class (job_result::timed_out, serve_summary::timeouts)
+  /// instead of only being reported stuck. 0 = report-only watchdog.
+  double stall_s = 0.0;
+  /// Heartbeat/stall lines become one-line JSON objects on the log stream
+  /// (machine-tailable alongside --trace-out) instead of prose.
+  bool json_heartbeat = false;
 };
 
 /// Severity-keyed tally across one batch / serve session.
@@ -97,6 +107,7 @@ struct serve_summary {
   usize jobs = 0;       ///< jobs that parsed and were attempted
   usize rejected = 0;   ///< malformed job lines (serve mode only)
   usize failed = 0;     ///< jobs that errored (unknown adversary, dup out=)
+  usize timeouts = 0;   ///< of the failed: stall-watchdog cancellations
   usize unsafe = 0;     ///< jobs with an at-most-once violation
   usize io_errors = 0;  ///< out= files that could not be written
 

@@ -1,9 +1,18 @@
 #include "svc/worker_pool.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace amo::svc {
+
+batch_cancelled::batch_cancelled(usize done_, usize total_)
+    : std::runtime_error("batch cancelled: " + std::to_string(done_) + " of " +
+                         std::to_string(total_) + " tasks done"),
+      done(done_),
+      total(total_) {}
 
 worker_pool::worker_pool(usize workers) : workers_(workers) {
   if (workers_ == 0) {
@@ -35,6 +44,13 @@ usize worker_pool::batches_run() const {
   return batches_;
 }
 
+void worker_pool::cancel() {
+  // Armed only against an in-flight batch: a cancel landing between
+  // batches must not poison the next one.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (batch_active_) cancel_.store(true, std::memory_order_relaxed);
+}
+
 pool_progress worker_pool::progress() const {
   std::lock_guard<std::mutex> lk(mu_);
   pool_progress p;
@@ -52,6 +68,12 @@ pool_progress worker_pool::progress() const {
 
 void worker_pool::run_serial(usize count, const std::function<void(usize)>& fn) {
   for (usize i = 0; i < count; ++i) {
+    if (cancel_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++skipped_;
+      --remaining_;
+      continue;
+    }
     try {
       fn(i);
     } catch (...) {
@@ -68,29 +90,43 @@ usize worker_pool::run_indexed(usize count,
   std::lock_guard<std::mutex> client(client_mu_);
   first_error_ = nullptr;
 
+  obs::span sp("pool", "batch");
+  sp.arg("tasks", static_cast<std::uint64_t>(count));
+
   if (workers_ <= 1 || count == 1) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       batch_active_ = true;
       batch_total_ = count;
       remaining_ = count;
+      skipped_ = 0;
+      cancel_.store(false, std::memory_order_relaxed);
       batch_start_ = std::chrono::steady_clock::now();
     }
     run_serial(count, fn);
+    usize skipped = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++batches_;
       batch_active_ = false;
       batch_total_ = 0;
+      skipped = skipped_;
     }
+    sp.arg("workers", std::uint64_t{1});
+    const bool cancelled = cancel_.exchange(false, std::memory_order_relaxed);
     if (first_error_) {
       std::exception_ptr e = std::exchange(first_error_, nullptr);
       std::rethrow_exception(e);
+    }
+    if (cancelled && skipped > 0) {
+      sp.arg("cancelled", std::string_view("true"));
+      throw batch_cancelled(count - skipped, count);
     }
     return 1;
   }
 
   const usize nw = std::min(workers_, count);
+  sp.arg("workers", static_cast<std::uint64_t>(nw));
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (usize i = 0; i < count; ++i) {
@@ -99,6 +135,8 @@ usize worker_pool::run_indexed(usize count,
     fn_ = &fn;
     active_queues_ = nw;
     remaining_ = count;
+    skipped_ = 0;
+    cancel_.store(false, std::memory_order_relaxed);
     ++generation_;
     ++batches_;
     batch_active_ = true;
@@ -107,6 +145,7 @@ usize worker_pool::run_indexed(usize count,
   }
   work_cv_.notify_all();
 
+  usize skipped = 0;
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [this] { return remaining_ == 0 && in_batch_ == 0; });
@@ -114,16 +153,23 @@ usize worker_pool::run_indexed(usize count,
     active_queues_ = 0;
     batch_active_ = false;
     batch_total_ = 0;
+    skipped = skipped_;
   }
+  const bool cancelled = cancel_.exchange(false, std::memory_order_relaxed);
   if (first_error_) {
     std::exception_ptr e = std::exchange(first_error_, nullptr);
     std::rethrow_exception(e);
+  }
+  if (cancelled && skipped > 0) {
+    sp.arg("cancelled", std::string_view("true"));
+    throw batch_cancelled(count - skipped, count);
   }
   return nw;
 }
 
 void worker_pool::worker_main(usize self) {
   std::uint64_t seen = 0;
+  std::uint64_t steals = 0;  ///< cumulative over this worker's lifetime
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
@@ -136,6 +182,10 @@ void worker_pool::worker_main(usize self) {
     const std::function<void(usize)>* fn = fn_;
     ++in_batch_;
     lk.unlock();
+
+    // Per batch, not once: a tracing session can start mid-lifetime and
+    // name_thread is first-write-wins inside one session anyway.
+    obs::set_thread_name("pool worker");
 
     for (;;) {
       usize task = 0;
@@ -160,9 +210,19 @@ void worker_pool::worker_main(usize self) {
             found = true;
           }
         }
+        if (found) {
+          ++steals;
+          obs::counter("pool", "steals", static_cast<double>(steals));
+        }
       }
       if (!found) break;  // dealt up-front, never re-enqueued: batch is dry
 
+      if (cancel_.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> g(mu_);
+        ++skipped_;
+        --remaining_;
+        continue;
+      }
       try {
         (*fn)(task);
       } catch (...) {

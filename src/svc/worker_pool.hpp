@@ -17,6 +17,7 @@
 // same bytes as a thousand fresh pools (tested in tests/test_svc_pool.cpp).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -24,12 +25,25 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace amo::svc {
+
+/// Thrown out of run_indexed() when cancel() stopped the batch before
+/// every task ran. Tasks already started still finished (cancellation is
+/// a between-tasks fence, never a thread kill), so `done` of `total`
+/// results are valid — but the batch as a whole is incomplete, which is
+/// why this is an exception and not a count: a caller that ignores it
+/// would publish a partial sweep as a full one.
+struct batch_cancelled : std::runtime_error {
+  batch_cancelled(usize done_, usize total_);
+  usize done = 0;
+  usize total = 0;
+};
 
 /// A point-in-time snapshot of the pool's current batch — the heartbeat
 /// hook a supervisor (the serve loop's stuck-job watchdog) polls to tell a
@@ -80,7 +94,17 @@ class worker_pool {
   /// Callers may overlap: concurrent run_indexed() calls serialize on an
   /// internal mutex. Calling it from inside a pool task deadlocks — jobs
   /// that need nested parallelism must flatten their cells instead.
+  ///
+  /// Throws batch_cancelled when cancel() fired and at least one task was
+  /// skipped; a task exception (first_error_) outranks cancellation.
   usize run_indexed(usize count, const std::function<void(usize)>& fn);
+
+  /// Asks the in-flight batch to stop: queued tasks are skipped unstarted,
+  /// running tasks finish, and run_indexed() throws batch_cancelled once
+  /// the batch drains. Safe from any thread (the serve watchdog's deadline
+  /// action); a no-op when no batch is active — the flag does NOT arm a
+  /// future batch.
+  void cancel();
 
  private:
   struct worker_queue {
@@ -112,6 +136,8 @@ class worker_pool {
   std::chrono::steady_clock::time_point batch_start_{};
   std::vector<std::unique_ptr<worker_queue>> queues_;
   std::exception_ptr first_error_;
+  std::atomic<bool> cancel_{false};  ///< between-tasks stop fence
+  usize skipped_ = 0;                ///< tasks skipped by the current batch
 
   std::vector<std::jthread> threads_;
 };

@@ -63,6 +63,11 @@
 //       travel as .amoc too). With --no-timing the result is
 //       byte-identical to the one-shot sweep — in either encoding.
 //
+//   amo_lab stats <trace.json>
+//       Summarise a --trace-out trace: a per-stage table (span counts,
+//       total/mean/p50/p95/max durations) plus counters, and with --out a
+//       machine-readable summary JSON (docs/observability.md).
+//
 //   amo_lab help
 //       This text, on stdout, exit 0 (also --help / -h).
 //
@@ -85,6 +90,12 @@
 //                                    format (docs/record_format.md)
 //   --no-timing                      omit wall_seconds from JSON (makes
 //                                    identical executions byte-identical)
+//   --trace-out=FILE                 record a Chrome-trace-event timeline
+//                                    (spans + counters across svc/pool/
+//                                    sweep/dispatch/merge, Perfetto-
+//                                    loadable) and write it to FILE on
+//                                    exit; strictly out-of-band — record
+//                                    output stays byte-identical
 //   --check                          additionally run the sweep serially and
 //                                    verify pooled results are bit-identical;
 //                                    prints the speedup
@@ -96,6 +107,10 @@
 //   --heartbeat-s=T                  serve: log a progress line every T
 //                                    seconds, flagging jobs whose unit
 //                                    counter stopped moving
+//   --stall-s=T                      serve: deadline action — when a job's
+//                                    unit counter has not moved for T
+//                                    seconds, cancel the pool batch and
+//                                    fail the job with the timeout class
 //   --to=FILE                        submit: append the job line to FILE
 // Options (dispatch):
 //   --shards=K                       number of shard subprocesses
@@ -156,7 +171,9 @@
 //   dispatch    0 = merged clean; 1 = a shard reported a violation; 2 =
 //               launch/merge hard failure; 3 = shard unreadable / merged
 //               output unwritable
+//   stats       0 = summarised; 3 = trace unreadable or malformed
 //   any         2 = usage error (unknown command, unknown scenario, bad flag)
+//   any         3 (overriding a 0) = --trace-out file could not be written
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -170,6 +187,9 @@
 
 #include "exp/colfmt.hpp"
 #include "exp/diff.hpp"
+#include "obs/stats.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_read.hpp"
 #include "exp/engine.hpp"
 #include "exp/merge.hpp"
 #include "exp/record.hpp"
@@ -217,6 +237,8 @@ struct cli_options {
   std::string inject;    ///< dispatch: fault-injection spec (svc::fault)
   bool resume = false;   ///< dispatch: adopt completed shards from manifest
   double heartbeat_s = 0;///< serve: progress watchdog period
+  double stall_s = 0;    ///< serve: watchdog deadline action (cancel batch)
+  std::string trace_out; ///< write a Chrome-trace timeline here on exit
   bool once = false;     ///< serve: exit at the first EOF even on a FIFO
   std::vector<std::string> names;  ///< scenario names, or files for merge/diff
 };
@@ -293,6 +315,15 @@ bool parse_args(int argc, char** argv, int first, cli_options& opt) {
         std::fprintf(stderr, "bad heartbeat '%s' (want seconds >= 0)\n", v);
         return false;
       }
+    } else if (parse_kv(a, "--stall-s", &v)) {
+      char* end = nullptr;
+      opt.stall_s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.stall_s < 0) {
+        std::fprintf(stderr, "bad stall '%s' (want seconds >= 0)\n", v);
+        return false;
+      }
+    } else if (parse_kv(a, "--trace-out", &v)) {
+      opt.trace_out = v;
     } else if (parse_kv(a, "--inject", &v)) {
       opt.inject = v;
     } else if (parse_kv(a, "--format", &v)) {
@@ -382,15 +413,24 @@ void usage(std::FILE* to) {
       "                                 persistent pool (docs/batch_format.md)\n"
       "  dispatch --shards=k [...]      launch k shard subprocesses, wait,\n"
       "                                 merge their JSON (--command templates\n"
-      "                                 the launch, e.g. over ssh)\n"
+      "                                 the launch, e.g. over ssh); with\n"
+      "                                 --trace-out the children's trace\n"
+      "                                 shards are stitched into one timeline\n"
+      "  stats <trace.json>             summarise a --trace-out trace: per-\n"
+      "                                 stage span table + counters; --out\n"
+      "                                 writes a machine-readable summary\n"
       "  help                           this text\n"
       "\n"
       "options: --n=N --m=M --beta=B --eps=K --seed=S --seeds=R\n"
       "         --replicas=R --pool=P --batch-replicas=auto|0|N\n"
       "         --shard=i/k --scheduled-only\n"
       "         --out=FILE --format=json|colfmt --no-timing --check --quiet\n"
+      "         --trace-out=FILE (Perfetto-loadable Chrome-trace timeline;\n"
+      "         out-of-band: record output stays byte-identical)\n"
       "         --tol=T --dist-test --jobs=FILE\n"
-      "         --once --heartbeat-s=T --to=FILE --shards=K --retries=R\n"
+      "         --once --heartbeat-s=T --stall-s=T (cancel a stalled batch\n"
+      "         and fail the job as a timeout) --to=FILE --shards=K\n"
+      "         --retries=R\n"
       "         --deadline-s=T --inject=SPEC --resume --command=TEMPLATE\n"
       "         --dir=D --keep-shards --manifest=FILE --wait-s=T\n",
       to);
@@ -672,6 +712,10 @@ int cmd_serve(const cli_options& opt) {
   svc::server_options sopt;
   sopt.quiet = opt.quiet;
   sopt.heartbeat_s = opt.heartbeat_s;
+  sopt.stall_s = opt.stall_s;
+  // Tracing implies a machine consumer: heartbeat/stall lines switch to
+  // one-line JSON so the log stream is tailable alongside the trace.
+  sopt.json_heartbeat = !opt.trace_out.empty();
   std::fprintf(stderr, "amo_lab serve: pool of %zu workers, reading jobs "
                        "from %s%s\n",
                pool.size(), opt.jobs.empty() ? "stdin" : opt.jobs.c_str(),
@@ -690,6 +734,7 @@ int cmd_serve(const cli_options& opt) {
       sum.jobs += session.jobs;
       sum.rejected += session.rejected;
       sum.failed += session.failed;
+      sum.timeouts += session.timeouts;
       sum.unsafe += session.unsafe;
       sum.io_errors += session.io_errors;
       if (resident && !opt.quiet) {
@@ -699,10 +744,11 @@ int cmd_serve(const cli_options& opt) {
       }
     } while (resident);
   }
-  std::fprintf(stderr, "amo_lab serve: %zu jobs (%zu rejected, %zu failed, "
-                       "%zu unsafe, %zu I/O errors) on %zu pool batches\n",
-               sum.jobs, sum.rejected, sum.failed, sum.unsafe, sum.io_errors,
-               pool.batches_run());
+  std::fprintf(stderr, "amo_lab serve: %zu jobs (%zu rejected, %zu failed "
+                       "of which %zu timeouts, %zu unsafe, %zu I/O errors) "
+                       "on %zu pool batches\n",
+               sum.jobs, sum.rejected, sum.failed, sum.timeouts, sum.unsafe,
+               sum.io_errors, pool.batches_run());
   return sum.exit_code();
 }
 
@@ -813,6 +859,10 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
   dopt.deadline_s = opt.deadline_s;
   dopt.inject = opt.inject;
   dopt.resume = opt.resume;
+  // Fan the trace out: every child gets its own --trace-out shard, and the
+  // dispatcher attaches them to this process's session so the export is one
+  // stitched timeline (child i = pid i+1).
+  dopt.trace = !opt.trace_out.empty();
   // Shard files and the merged output travel in the same encoding; the
   // children need no extra flag — they infer colfmt from their ".amoc"
   // --out names.
@@ -841,6 +891,36 @@ int cmd_dispatch(const cli_options& opt, const char* argv0) {
                 result.shards.size(), opt.out.c_str());
   }
   return result.exit_code;
+}
+
+int cmd_stats(const cli_options& opt) {
+  if (opt.names.size() != 1) {
+    std::fprintf(stderr, "stats: need exactly one trace file (--trace-out "
+                         "output)\n");
+    return 2;
+  }
+  const obs::trace_parse_result parsed =
+      obs::parse_trace_file(opt.names[0].c_str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "amo_lab stats: %s\n", parsed.error.c_str());
+    return 3;
+  }
+  const obs::trace_summary sum =
+      obs::summarize_trace(parsed.events, parsed.dropped);
+  if (!opt.quiet) std::fputs(obs::render_summary_table(sum).c_str(), stdout);
+  if (!opt.out.empty()) {
+    std::string werr;
+    if (!svc::write_artifact(opt.out.c_str(),
+                             obs::render_summary_json(sum), 0, werr)) {
+      std::fprintf(stderr, "amo_lab stats: %s\n", werr.c_str());
+      return 3;
+    }
+    if (!opt.quiet) {
+      std::printf("[%zu stages, %zu counters -> %s]\n", sum.stages.size(),
+                  sum.counters.size(), opt.out.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -872,28 +952,73 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // --trace-out arms the process-wide telemetry session around the whole
+  // command ("stats" only reads traces, so it never records one). Probes
+  // everywhere else in the stack are branch-on-null: without this session
+  // they cost one relaxed pointer load.
+  std::unique_ptr<obs::session> trace;
+  if (!opt.trace_out.empty() && cmd != "stats") {
+    trace = std::make_unique<obs::session>();
+    obs::set_thread_name("main");
+  }
+
+  int rc = 2;
+  bool known = true;
   try {
-    if (cmd == "list") return cmd_list(opt);
-    if (cmd == "run") {
+    if (cmd == "list") {
+      rc = cmd_list(opt);
+    } else if (cmd == "run") {
       if (opt.names.empty()) {
         std::fprintf(stderr, "run: name at least one scenario (see amo_lab list)\n");
         return 2;
       }
-      return cmd_run(opt);
+      rc = cmd_run(opt);
+    } else if (cmd == "sweep") {
+      rc = cmd_sweep(opt);
+    } else if (cmd == "merge") {
+      rc = cmd_merge(opt);
+    } else if (cmd == "convert") {
+      rc = cmd_convert(opt);
+    } else if (cmd == "diff") {
+      rc = cmd_diff(opt);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(opt);
+    } else if (cmd == "submit") {
+      rc = cmd_submit(opt);
+    } else if (cmd == "batch") {
+      rc = cmd_batch(opt);
+    } else if (cmd == "dispatch") {
+      rc = cmd_dispatch(opt, argv[0]);
+    } else if (cmd == "stats") {
+      rc = cmd_stats(opt);
+    } else {
+      known = false;
     }
-    if (cmd == "sweep") return cmd_sweep(opt);
-    if (cmd == "merge") return cmd_merge(opt);
-    if (cmd == "convert") return cmd_convert(opt);
-    if (cmd == "diff") return cmd_diff(opt);
-    if (cmd == "serve") return cmd_serve(opt);
-    if (cmd == "submit") return cmd_submit(opt);
-    if (cmd == "batch") return cmd_batch(opt);
-    if (cmd == "dispatch") return cmd_dispatch(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "amo_lab: %s\n", e.what());
     return 2;
   }
-  std::fprintf(stderr, "amo_lab: unknown command '%s'\n", cmd.c_str());
-  usage(stderr);
-  return 2;
+  if (!known) {
+    std::fprintf(stderr, "amo_lab: unknown command '%s'\n", cmd.c_str());
+    usage(stderr);
+    return 2;
+  }
+
+  if (trace != nullptr && trace->installed()) {
+    obs::export_options eopt;
+    eopt.process_name = "amo_lab " + cmd;
+    if (opt.have_shard) {
+      eopt.process_name += " shard=" + exp::to_string(opt.shard);
+    }
+    std::string werr;
+    if (obs::export_file(trace->sink(), opt.trace_out.c_str(), eopt, werr)) {
+      if (!opt.quiet) {
+        std::fprintf(stderr, "amo_lab: trace -> %s\n", opt.trace_out.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "amo_lab: %s\n", werr.c_str());
+      if (rc == 0) rc = 3;
+    }
+  }
+  return rc;
 }
