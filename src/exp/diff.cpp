@@ -81,6 +81,14 @@ constexpr field_rule kRules[] = {
     {"collisions", field_class::higher_worse},
     {"worst_pair_ratio", field_class::higher_worse},
     {"trace_events", field_class::higher_worse},
+    // model-checking state counts (BENCH_model): growth = lost reduction
+    {"brute_states", field_class::higher_worse},
+    {"brute_transitions", field_class::higher_worse},
+    {"por_states", field_class::higher_worse},
+    {"por_transitions", field_class::higher_worse},
+    // reduction factors: shrinking = lost reduction
+    {"state_reduction", field_class::lower_worse},
+    {"transition_reduction", field_class::lower_worse},
     // informational — reported, never gating
     {"crashes", field_class::informational},
     {"num_levels", field_class::informational},

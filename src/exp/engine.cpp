@@ -14,6 +14,7 @@
 #include "exp/harvest.hpp"
 #include "mem/atomic_memory.hpp"
 #include "mem/sim_memory.hpp"
+#include "model/dpor.hpp"
 #include "model/explorer.hpp"
 #include "rt/crash_injection.hpp"
 #include "sets/fenwick_rank_set.hpp"
@@ -293,27 +294,42 @@ void run_wa_baseline_impl(const run_spec& s, sim::adversary* adv,
   for (const auto& p : procs) rep.perform_events += p->perform_count();
 }
 
-/// Exhaustive exploration mapped onto the run_report vocabulary:
-/// total_steps = transitions, total_work.local_ops = states visited,
-/// terminated = quiescent states, effectiveness = the minimum job count over
-/// all quiescent states (the exhaustively-proven worst case), quiescent =
-/// "fully explored and acyclic", at_most_once = "no duplicate anywhere".
-void run_model_impl(const run_spec& s, run_report& rep) {
+/// Exhaustive (or partial-order-reduced) exploration mapped onto the
+/// run_report vocabulary: total_steps = transitions, total_work.local_ops =
+/// states visited, terminated = quiescent states, effectiveness = the
+/// minimum job count over all quiescent states (the exhaustively-proven
+/// worst case), quiescent = "fully explored and acyclic", at_most_once =
+/// "no duplicate anywhere". For model_explore_por, `pool` (may be null)
+/// drives the exploration frontier; the report is bit-identical at any
+/// pool size.
+void run_model_impl(const run_spec& s, run_report& rep,
+                    svc::worker_pool* pool) {
   if (s.n > model::max_jobs || s.m > model::max_procs) {
     bad_spec("model_explore handles n <= " + std::to_string(model::max_jobs) +
              ", m <= " + std::to_string(model::max_procs) + " only");
   }
-  model::explore_options opt;
-  opt.cfg.n = s.n;
-  opt.cfg.m = s.m;
-  opt.cfg.beta = s.beta == 0 ? s.m : s.beta;
-  opt.cfg.rule = s.rule;
-  opt.cfg.mode = kk_mode::plain;
-  opt.cfg.crash_budget = s.crash_budget;
-  if (s.max_steps != 0) opt.max_states = s.max_steps;
+  model::model_config cfg;
+  cfg.n = s.n;
+  cfg.m = s.m;
+  cfg.beta = s.beta == 0 ? s.m : s.beta;
+  cfg.rule = s.rule;
+  cfg.mode = kk_mode::plain;
+  cfg.crash_budget = s.crash_budget;
 
   stopwatch clock;
-  const model::explore_result res = model::explore(opt);
+  model::explore_result res;
+  if (s.algo == algo_family::model_explore_por) {
+    model::por_options opt;
+    opt.cfg = cfg;
+    if (s.max_steps != 0) opt.max_states = s.max_steps;
+    opt.pool = pool;
+    res = model::explore_por(opt);
+  } else {
+    model::explore_options opt;
+    opt.cfg = cfg;
+    if (s.max_steps != 0) opt.max_states = s.max_steps;
+    res = model::explore(opt);
+  }
   rep.wall_seconds = clock.seconds();
 
   rep.adversary = "exhaustive";
@@ -323,12 +339,12 @@ void run_model_impl(const run_spec& s, run_report& rep) {
   rep.quiescent = res.complete && !res.cycle_found;
   rep.terminated = res.quiescent_states;
   rep.at_most_once = !res.duplicate_found;
-  rep.effectiveness =
-      res.min_effectiveness == ~usize{0} ? 0 : res.min_effectiveness;
+  rep.effectiveness = res.min_effectiveness;
   rep.perform_events = rep.effectiveness;
 }
 
-run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
+run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks,
+                    svc::worker_pool* por_pool = nullptr) {
   // Family validation runs before the degenerate-universe shortcut: an
   // invalid spec must throw, not return a vacuously passing report.
   if (s.algo == algo_family::ao2) {
@@ -341,8 +357,9 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
   const bool wa_baseline = s.algo == algo_family::wa_trivial ||
                            s.algo == algo_family::wa_split_scan ||
                            s.algo == algo_family::wa_progress_tree;
-  if ((wa_baseline || s.algo == algo_family::model_explore) &&
-      s.driver != driver_kind::scheduled) {
+  const bool model_family = s.algo == algo_family::model_explore ||
+                            s.algo == algo_family::model_explore_por;
+  if ((wa_baseline || model_family) && s.driver != driver_kind::scheduled) {
     bad_spec("write-all baselines and model_explore run under the scheduled "
              "driver only");
   }
@@ -370,9 +387,9 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
   run_report rep;
   echo_spec(rep, s);
 
-  if (s.algo == algo_family::model_explore) {
+  if (model_family) {
     // No adversary to resolve: the explorer IS every adversary at once.
-    run_model_impl(s, rep);
+    run_model_impl(s, rep, por_pool);
     return rep;
   }
 
@@ -445,6 +462,7 @@ run_report run_impl(run_spec s, sim::adversary* adv, const run_hooks* hooks) {
       run_wa_baseline_impl<baseline::wa_progress_tree_process>(s, adv, rep);
       break;
     case algo_family::model_explore:
+    case algo_family::model_explore_por:
       break;  // handled before adversary resolution
   }
 
@@ -529,6 +547,14 @@ run_report replay(const run_spec& spec, const sim::trace& t) {
   s.record_trace = true;
   sim::replay_adversary adv(t);
   return run(s, adv);
+}
+
+run_report run_por(const run_spec& spec, svc::worker_pool& pool) {
+  if (spec.algo != algo_family::model_explore_por) {
+    throw std::invalid_argument(
+        "run_por drives model_explore_por only; use run() for everything else");
+  }
+  return run_impl(spec, nullptr, nullptr, &pool);
 }
 
 }  // namespace amo::exp

@@ -20,6 +20,10 @@
 #include "exp/spec.hpp"
 #include "sim/adversary.hpp"
 
+namespace amo::svc {
+class worker_pool;
+}  // namespace amo::svc
+
 namespace amo::exp {
 
 /// Optional observation hooks; not part of a spec's value identity.
@@ -51,5 +55,13 @@ run_report run(const run_spec& spec, sim::adversary& adv, const run_hooks& hooks
 /// Re-runs `spec` with its adversary replaced by a faithful replay of `t`
 /// (recording again, so the result's trace can be compared to `t`).
 run_report replay(const run_spec& spec, const sim::trace& t);
+
+/// model_explore_por only: runs the POR checker with `pool` driving the
+/// exploration frontier. The report is bit-identical to plain run(spec) —
+/// which explores serially — at any pool size; use this entry point when a
+/// pool is available and the call is NOT already inside a pool task (the
+/// frontier issues its own run_indexed batches). Throws std::invalid_argument
+/// for any other algo family.
+run_report run_por(const run_spec& spec, svc::worker_pool& pool);
 
 }  // namespace amo::exp

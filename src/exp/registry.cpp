@@ -210,6 +210,39 @@ std::vector<scenario> build_registry() {
       },
   });
 
+  // Partial-order-reduced checking: same verdicts as model/explore over a
+  // pruned state graph, so the cells clamp one size class larger — sizes
+  // the brute-force cells could not afford. Deterministic like
+  // model/explore (seeds do not multiply).
+  reg.push_back({
+      "model/explore_por",
+      "partial-order-reduced exploration of KK instances (dpor)",
+      [](const scenario_params& p) {
+        std::vector<run_spec> cells;
+        run_spec worst;
+        worst.label = "model/explore_por";
+        worst.algo = algo_family::model_explore_por;
+        worst.n = std::min<usize>(p.n, 6);
+        worst.m = 2;
+        worst.beta = 2;
+        worst.crash_budget = 1;  // f = m-1: Theorem 4.4's tight setting
+        cells.push_back(worst);
+        run_spec crash_free = worst;
+        crash_free.n = std::min<usize>(p.n, 8);
+        crash_free.crash_budget = 0;
+        cells.push_back(crash_free);
+        if (p.m >= 3) {
+          run_spec three = worst;
+          three.n = std::min<usize>(p.n, 4);
+          three.m = 3;
+          three.beta = 3;
+          three.crash_budget = 2;
+          cells.push_back(three);
+        }
+        return cells;
+      },
+  });
+
   // Real-thread runtime: hardware supplies the interleaving, so these cells
   // are not bit-reproducible — they validate safety, not determinism.
   reg.push_back({

@@ -31,6 +31,7 @@ const char* to_string(algo_family f) {
     case algo_family::wa_split_scan: return "wa_split_scan";
     case algo_family::wa_progress_tree: return "wa_progress_tree";
     case algo_family::model_explore: return "model_explore";
+    case algo_family::model_explore_por: return "model_explore_por";
   }
   return "?";
 }
@@ -65,7 +66,7 @@ bool from_string(std::string_view name, algo_family& out) {
        {algo_family::kk, algo_family::iterative, algo_family::wa_iterative,
         algo_family::ao2, algo_family::tas, algo_family::wa_trivial,
         algo_family::wa_split_scan, algo_family::wa_progress_tree,
-        algo_family::model_explore}) {
+        algo_family::model_explore, algo_family::model_explore_por}) {
     if (name == to_string(f)) {
       out = f;
       return true;

@@ -45,6 +45,9 @@ enum class algo_family : std::uint8_t {
   model_explore,  ///< exhaustive exploration of EVERY schedule and crash
                   ///< placement (n <= 10, m <= 3); scheduled driver only,
                   ///< the adversary spec is ignored ("exhaustive")
+  model_explore_por,  ///< partial-order-reduced exploration (model/dpor):
+                      ///< same verdicts as model_explore over a pruned
+                      ///< state graph; scheduled driver only
 };
 
 /// What supplies the interleaving.

@@ -51,6 +51,33 @@ unit_run_result run_units(const std::vector<run_spec>& cells,
                           svc::worker_pool& pool, const batch_options& batch) {
   unit_run_result out;
   out.reports.resize(units.size());
+
+  // POR cells invert the parallelism: each unit is one whole-state-graph
+  // exploration whose frontier wants the pool to itself, and nesting
+  // run_indexed inside a pool task would deadlock. When the sweep is all
+  // POR, run the units serially on the caller thread and hand each one the
+  // pool. Reports are bit-identical either way (the POR frontier is
+  // deterministic at any pool size), so mixed sweeps lose nothing but
+  // frontier parallelism by taking the generic path below (where POR cells
+  // run with a serial frontier, pool = nullptr).
+  const bool all_por = [&] {
+    for (const unit_ref& u : units) {
+      if (cells[u.cell].algo != algo_family::model_explore_por) return false;
+    }
+    return !units.empty();
+  }();
+  if (all_por) {
+    for (usize i = 0; i < units.size(); ++i) {
+      const unit_ref& u = units[i];
+      obs::span sp("sweep", "unit");
+      sp.arg("cell", static_cast<std::uint64_t>(u.cell));
+      sp.arg("replica", static_cast<std::uint64_t>(u.replica));
+      out.reports[i] = run_por(replica_spec(cells[u.cell], u.replica), pool);
+    }
+    out.pool_size = pool.size();
+    return out;
+  }
+
   const std::vector<unit_task> tasks = plan_unit_tasks(cells, units, batch);
   out.pool_size = pool.run_indexed(tasks.size(), [&](usize t) {
     const unit_task& tk = tasks[t];

@@ -1,0 +1,491 @@
+#include "model/dpor.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "svc/worker_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace amo::model {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Actions and footprints
+//
+// An enabled action is either step(p) — process p's single enabled automaton
+// transition, whose footprint is determined by p's current status — or
+// crash(p). Actions are encoded as bits of a 6-bit mask so sleep sets are a
+// byte: bit (p-1) = step(p), bit (max_procs + p - 1) = crash(p).
+// ---------------------------------------------------------------------------
+
+using amask = std::uint8_t;
+
+struct action {
+  bool is_crash = false;
+  process_id pid = 1;
+};
+
+constexpr amask step_bit(process_id p) {
+  return static_cast<amask>(amask{1} << (p - 1));
+}
+constexpr amask crash_bit(process_id p) {
+  return static_cast<amask>(amask{1} << (max_procs + p - 1));
+}
+constexpr amask bit_of(action a) {
+  return a.is_crash ? crash_bit(a.pid) : step_bit(a.pid);
+}
+
+constexpr bool touches_flag(kk_status st) {
+  return st == kk_status::flag_poll || st == kk_status::flag_raise ||
+         st == kk_status::flag_gate;
+}
+
+/// True when crashing p BEFORE its pending step differs observably from
+/// crashing right after it — i.e. the step writes state someone else (or
+/// the checker) reads: a register announce, a done-row append, a perform,
+/// a flag raise. For pure-read/local statuses (comp_next, check, the
+/// gathers, flag polls) the two placements differ only in the dead
+/// process's locals — crash-before-publish in the finalizing gather_done
+/// case only withholds an output, which can only remove Lemma 6.2
+/// violations the kept branch still reports — so those crashes are
+/// postponed until the process reaches a writing status (or ends), and
+/// the expansion at a read status omits them.
+constexpr bool crash_observable(kk_status st) {
+  return st == kk_status::set_next || st == kk_status::record ||
+         st == kk_status::perform || st == kk_status::flag_raise;
+}
+
+/// True when step(p) commutes with EVERY action any other process can ever
+/// take from `s` — the persistent-singleton condition. By footprint:
+///   * comp_next / check touch only p's local state, which no other process
+///     reads or writes, ever;
+///   * the flag ops are invisible once the flag is raised: the flag is
+///     written monotonically (true over true), so every later read/write
+///     commutes with them;
+///   * gather_try is invisible when the cursor points at p itself (the
+///     automaton skips its own register) or at a process that is end/stop —
+///     a dead process never writes its next_reg again, and nobody else
+///     ever does;
+///   * gather_done additionally exploits that done-rows are append-only:
+///     a read at a position already inside rows[q] (or past n, where the
+///     automaton reads nothing) returns an immutable cell whatever q
+///     appends later;
+///   * set_next is invisible when the register already holds the value
+///     about to be written — the write is a shared-state no-op;
+///   * perform touches only the performed/duplicate word, and co-enabled
+///     performs endpoint-commute (both orders leave the same mask and the
+///     same duplicate verdict) — but forcing a perform past a pending
+///     crash of the same process would change the performed mask the
+///     crashed branch reaches, so perform is invisible only once the
+///     crash budget is spent (choose_expansion still reduces the
+///     crashes-possible case to the pair {perform(p), crash(p)}).
+/// record (and set_next writing a fresh value, and flag ops below a
+/// lowered flag) publish values other live processes will read and react
+/// to, so they stay visible.
+bool invisible_step(const sys_state& s, const model_config& cfg,
+                    process_id p) {
+  const proc_state& ps = s.procs[p - 1];
+  switch (ps.status) {
+    case kk_status::comp_next:
+    case kk_status::check:
+      return true;
+    case kk_status::flag_poll:
+    case kk_status::flag_raise:
+    case kk_status::flag_gate:
+      return s.flag;
+    case kk_status::set_next:
+      return s.next_reg[p - 1] == ps.next;
+    case kk_status::gather_try:
+      return ps.q == p || !runnable(s, cfg, ps.q);
+    case kk_status::gather_done:
+      return ps.q == p || !runnable(s, cfg, ps.q) ||
+             static_cast<usize>(ps.pos[ps.q - 1]) > cfg.n ||
+             ps.pos[ps.q - 1] <= s.row_len[ps.q - 1];
+    case kk_status::perform:
+      return s.crashes >= cfg.crash_budget;
+    default:
+      return false;
+  }
+}
+
+/// Conditional (state-dependent) independence of two VISIBLE steps of
+/// distinct processes p != q: independent iff their read/write footprints
+/// on the shared state are disjoint in `s`. Both endpoints commute and
+/// neither can disable the other (runnable(r) depends only on r's own
+/// status).
+bool visible_steps_independent(const sys_state& s, process_id p,
+                               process_id q) {
+  const proc_state& a = s.procs[p - 1];
+  const proc_state& b = s.procs[q - 1];
+  // flag word: a raise conflicts with a read while the flag is down
+  // (invisible_step already absorbed the flag-up case); two reads commute,
+  // and two raises endpoint-commute (both write true, each advances only
+  // its own status).
+  if (touches_flag(a.status) && touches_flag(b.status)) {
+    return (a.status == kk_status::flag_raise) ==
+           (b.status == kk_status::flag_raise);
+  }
+  // performed/duplicate word: two performs endpoint-commute — the final
+  // mask is the union either way, and duplicate is set iff some performed
+  // bit repeats, which is order-blind.
+  if (a.status == kk_status::perform && b.status == kk_status::perform) {
+    return true;
+  }
+  // next_reg handoff: set_next(p) writes next_reg[p], gather_try(q) reads
+  // next_reg of its current cursor.
+  if (a.status == kk_status::set_next && b.status == kk_status::gather_try &&
+      b.q == p) {
+    return false;
+  }
+  if (b.status == kk_status::set_next && a.status == kk_status::gather_try &&
+      a.q == q) {
+    return false;
+  }
+  // done-row handoff: record(p) appends to rows[p], gather_done(q) reads
+  // rows of its current cursor.
+  if (a.status == kk_status::record && b.status == kk_status::gather_done &&
+      b.q == p) {
+    return false;
+  }
+  if (b.status == kk_status::record && a.status == kk_status::gather_done &&
+      a.q == q) {
+    return false;
+  }
+  return true;
+}
+
+/// The sleep-set independence relation over enabled actions in `s`.
+/// Same-process pairs are always dependent (crash(p) disables step(p));
+/// crash/crash pairs commute while two or more crash credits remain and
+/// disable each other on the last credit; crash(p) commutes with any other
+/// process's step.
+bool independent(const sys_state& s, const model_config& cfg, action x,
+                 action y) {
+  if (x.pid == y.pid) return false;
+  if (x.is_crash && y.is_crash) {
+    return cfg.crash_budget - s.crashes >= 2;
+  }
+  if (x.is_crash || y.is_crash) return true;
+  if (invisible_step(s, cfg, x.pid) || invisible_step(s, cfg, y.pid)) {
+    return true;
+  }
+  return visible_steps_independent(s, x.pid, y.pid);
+}
+
+/// The expansion set at `s`, in canonical order. If some runnable process
+/// has an invisible current action, the smallest such p gives the
+/// singleton {step(p)}: crash(p) is postponed past the invisible step,
+/// because crashing before or after an action nobody else observes yields
+/// verdict-equivalent terminals (the states differ only in the dead
+/// process's locals — and, for a crash skipped over a publishing
+/// gather_done, in an output whose absence can only remove Lemma 6.2
+/// violations that the kept branch still reports). Failing that, a
+/// process at `perform` gives the pair {perform(p), crash(p)}: a perform
+/// endpoint-commutes with every other process's possible action (other
+/// performs included), so the pair is persistent in the classical sense —
+/// but the crash must stay, since crashing before vs after a perform
+/// reaches terminals with different performed masks. Otherwise the full
+/// enabled set (steps ascending, then crashes ascending) — trivially
+/// persistent. docs/model_checking.md carries the preservation proof.
+usize choose_expansion(const sys_state& s, const model_config& cfg,
+                       action (&out)[2 * max_procs], bool& singleton) {
+  const bool crashes_left = s.crashes < cfg.crash_budget;
+  for (process_id p = 1; p <= cfg.m; ++p) {
+    if (runnable(s, cfg, p) && invisible_step(s, cfg, p)) {
+      singleton = true;
+      out[0] = {false, p};
+      return 1;
+    }
+  }
+  for (process_id p = 1; p <= cfg.m; ++p) {
+    if (runnable(s, cfg, p) &&
+        s.procs[p - 1].status == kk_status::perform) {
+      // crashes_left holds here: a crash-starved perform is invisible.
+      singleton = true;
+      out[0] = {false, p};
+      out[1] = {true, p};
+      return 2;
+    }
+  }
+  singleton = false;
+  usize k = 0;
+  for (process_id p = 1; p <= cfg.m; ++p) {
+    if (runnable(s, cfg, p)) out[k++] = {false, p};
+  }
+  if (crashes_left) {
+    for (process_id p = 1; p <= cfg.m; ++p) {
+      if (runnable(s, cfg, p) &&
+          crash_observable(s.procs[p - 1].status)) {
+        out[k++] = {true, p};
+      }
+    }
+  }
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Layered frontier
+// ---------------------------------------------------------------------------
+
+/// One state awaiting expansion.
+struct work_item {
+  sys_state st;
+  std::uint32_t idx = 0;  ///< node id (first-arrival order)
+  amask sleep = 0;        ///< actions proven covered by sibling branches
+};
+
+/// One emitted edge: the successor state plus the sleep set it inherits.
+struct arrival {
+  fingerprint fp;
+  sys_state st;
+  std::uint32_t from = 0;
+  amask sleep = 0;
+};
+
+/// Per-block expansion output, merged in block order for determinism.
+struct block_out {
+  std::vector<arrival> arrivals;
+  usize sleep_pruned = 0;
+  usize singleton_states = 0;
+  usize full_states = 0;
+};
+
+/// Expands one state: choose the persistent set, drop sleeping actions,
+/// emit every explored edge with its successor's inherited sleep set
+/// ({b in sleep ∪ explored-earlier-siblings : independent(b, a)}).
+void expand(const work_item& item, const model_config& cfg, block_out& out) {
+  action exp_set[2 * max_procs];
+  bool singleton = false;
+  const usize count = choose_expansion(item.st, cfg, exp_set, singleton);
+  if (singleton) {
+    ++out.singleton_states;
+  } else {
+    ++out.full_states;
+  }
+  amask earlier = 0;
+  for (usize i = 0; i < count; ++i) {
+    const action a = exp_set[i];
+    if ((item.sleep & bit_of(a)) != 0) {
+      ++out.sleep_pruned;
+      continue;
+    }
+    const amask candidates = static_cast<amask>(item.sleep | earlier);
+    amask child_sleep = 0;
+    if (candidates != 0) {
+      for (process_id p = 1; p <= cfg.m; ++p) {
+        const action b_step{false, p};
+        if ((candidates & step_bit(p)) != 0 &&
+            independent(item.st, cfg, b_step, a)) {
+          child_sleep |= step_bit(p);
+        }
+        const action b_crash{true, p};
+        if ((candidates & crash_bit(p)) != 0 &&
+            independent(item.st, cfg, b_crash, a)) {
+          child_sleep |= crash_bit(p);
+        }
+      }
+    }
+    sys_state succ = a.is_crash ? crash(item.st, cfg, a.pid)
+                                : step(item.st, cfg, a.pid);
+    arrival arr;
+    arr.fp = fingerprint_of(succ, cfg);
+    arr.st = std::move(succ);
+    arr.from = item.idx;
+    arr.sleep = child_sleep;
+    out.arrivals.push_back(std::move(arr));
+    earlier = static_cast<amask>(earlier | bit_of(a));
+  }
+}
+
+/// Directed-cycle check over the explored edge list (iterative 3-color
+/// DFS on a CSR adjacency). Replaces the DFS on-stack test the layered
+/// frontier cannot perform inline; every recorded edge is a real model
+/// transition, so a cycle here is a cycle of the reduced (hence full)
+/// graph.
+bool has_cycle(std::uint32_t nodes,
+               const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  if (nodes == 0) return false;
+  std::vector<std::uint32_t> head(static_cast<usize>(nodes) + 1, 0);
+  for (const auto& e : edges) ++head[e.first + 1];
+  for (usize i = 1; i <= nodes; ++i) head[i] += head[i - 1];
+  std::vector<std::uint32_t> adj(edges.size());
+  std::vector<std::uint32_t> fill(head.begin(), head.end() - 1);
+  for (const auto& e : edges) adj[fill[e.first]++] = e.second;
+
+  std::vector<std::uint8_t> color(nodes, 0);  // 0 white, 1 on path, 2 done
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // node, cursor
+  for (std::uint32_t root = 0; root < nodes; ++root) {
+    if (color[root] != 0) continue;
+    color[root] = 1;
+    stack.emplace_back(root, head[root]);
+    while (!stack.empty()) {
+      auto& [u, cur] = stack.back();
+      if (cur == head[u + 1]) {
+        color[u] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::uint32_t v = adj[cur++];
+      if (color[v] == 1) return true;
+      if (color[v] == 0) {
+        color[v] = 1;
+        stack.emplace_back(v, head[v]);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+explore_result explore_por(const por_options& opt, por_stats& stats) {
+  const model_config& cfg = opt.cfg;
+  assert(opt.max_states < ~std::uint32_t{0} && "node ids are 32-bit");
+  explore_result result;
+  stats = por_stats{};
+
+  obs::span sp("model", "explore_por");
+  stopwatch clock;
+
+  // visited: fingerprint -> node id + the smallest sleep set the state has
+  // been explored with. A revisit with a smaller set re-expands the state
+  // (the newly awake actions were not covered), AND-merging masks so the
+  // exploration is the union of what every arrival requires.
+  struct node {
+    std::uint32_t idx = 0;
+    amask sleep = 0;
+  };
+  std::unordered_map<fingerprint, node, fingerprint_hash> visited;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::uint32_t node_count = 0;
+  bool capped = false;
+
+  std::vector<work_item> layer;
+  std::vector<work_item> next;
+  // Same-layer AND-merge: fingerprint -> position in `next`.
+  std::unordered_map<fingerprint, usize, fingerprint_hash> queued;
+
+  // Admits one state (the root, or an arrival): dedup, verdicts, queueing.
+  auto admit = [&](const fingerprint& fp, const sys_state& st, amask sleep,
+                   const std::uint32_t* from) {
+    auto it = visited.find(fp);
+    if (it == visited.end()) {
+      const std::uint32_t idx = node_count++;
+      // Terminal states store an empty mask: nothing to expand, so no
+      // later arrival can ever re-queue them.
+      const bool terminal = quiescent(st, cfg);
+      visited.emplace(fp, node{idx, terminal ? amask{0} : sleep});
+      if (from != nullptr) edges.emplace_back(*from, idx);
+      ++result.states;
+      if (st.duplicate) result.duplicate_found = true;
+      if (!lemma62_holds(st, cfg)) result.lemma62_violated = true;
+      if (terminal) {
+        ++result.quiescent_states;
+        const usize e = jobs_performed(st);
+        if (e < result.min_effectiveness) result.min_effectiveness = e;
+        if (e > result.max_effectiveness) result.max_effectiveness = e;
+      } else {
+        queued.emplace(fp, next.size());
+        next.push_back({st, idx, sleep});
+      }
+      if (result.states >= opt.max_states) capped = true;
+      return;
+    }
+    node& nd = it->second;
+    if (from != nullptr) edges.emplace_back(*from, nd.idx);
+    const amask merged = static_cast<amask>(nd.sleep & sleep);
+    if (merged == nd.sleep) return;  // explored at least this much already
+    nd.sleep = merged;
+    const auto qit = queued.find(fp);
+    if (qit != queued.end()) {
+      next[qit->second].sleep = merged;  // not expanded yet: tighten in place
+    } else {
+      ++stats.resumed_states;
+      queued.emplace(fp, next.size());
+      next.push_back({st, nd.idx, merged});
+    }
+  };
+
+  {
+    sys_state root = initial_state(cfg);
+    const fingerprint fp = fingerprint_of(root, cfg);
+    admit(fp, root, 0, nullptr);
+    layer.swap(next);
+    queued.clear();
+  }
+
+  constexpr usize kBlock = 128;
+  std::vector<block_out> outs;
+
+  while (!layer.empty() && !capped) {
+    ++stats.layers;
+    if (layer.size() > stats.peak_frontier) stats.peak_frontier = layer.size();
+    if (obs::enabled()) {
+      obs::counter("model", "frontier", static_cast<double>(layer.size()));
+      obs::counter("model", "sleep_hits",
+                   static_cast<double>(stats.sleep_pruned));
+      const double secs = clock.seconds();
+      if (secs > 0.0) {
+        obs::counter("model", "states_per_s",
+                     static_cast<double>(result.states) / secs);
+      }
+    }
+
+    const usize blocks = (layer.size() + kBlock - 1) / kBlock;
+    outs.clear();
+    outs.resize(blocks);
+    auto run_block = [&](usize b) {
+      block_out& out = outs[b];
+      const usize lo = b * kBlock;
+      const usize hi = lo + kBlock < layer.size() ? lo + kBlock : layer.size();
+      for (usize i = lo; i < hi; ++i) expand(layer[i], cfg, out);
+    };
+    if (opt.pool != nullptr && opt.pool->size() > 1 && blocks > 1) {
+      opt.pool->run_indexed(blocks, run_block);
+    } else {
+      for (usize b = 0; b < blocks; ++b) run_block(b);
+    }
+
+    // Serial merge in block order: arrival order — hence node ids, counts
+    // and verdict attribution — is a pure function of the layer contents,
+    // not of worker scheduling.
+    next.clear();
+    queued.clear();
+    for (block_out& out : outs) {
+      stats.sleep_pruned += out.sleep_pruned;
+      stats.singleton_states += out.singleton_states;
+      stats.full_states += out.full_states;
+      for (arrival& arr : out.arrivals) {
+        if (capped) break;
+        ++result.transitions;
+        admit(arr.fp, arr.st, arr.sleep, &arr.from);
+      }
+      if (capped) break;
+    }
+    layer.swap(next);
+  }
+
+  result.cycle_found = has_cycle(node_count, edges);
+  result.complete = !capped;
+  result.max_depth = stats.layers;
+  if (result.quiescent_states == 0) result.min_effectiveness = 0;
+
+  sp.arg("states", static_cast<std::uint64_t>(result.states));
+  sp.arg("transitions", static_cast<std::uint64_t>(result.transitions));
+  sp.arg("sleep_pruned", static_cast<std::uint64_t>(stats.sleep_pruned));
+  sp.arg("peak_frontier", static_cast<std::uint64_t>(stats.peak_frontier));
+  sp.arg("layers", static_cast<std::uint64_t>(stats.layers));
+  return result;
+}
+
+explore_result explore_por(const por_options& opt) {
+  por_stats stats;
+  return explore_por(opt, stats);
+}
+
+}  // namespace amo::model

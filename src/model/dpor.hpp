@@ -1,0 +1,64 @@
+// Partial-order-reduced exploration over kk_model: persistent-set +
+// sleep-set search (Godefroid; Flanagan–Godefroid DPOR) on the same
+// transition relation explore() enumerates brute-force.
+//
+// Most interleavings of an AMO run are Mazurkiewicz-equivalent: steps of
+// different processes commute unless they touch the same shared variable
+// (a next_reg handoff, the same done-row, the flag word, the performed
+// set). explore_por() classifies every enabled action by its read/write
+// footprint, expands only a reduced subset at each state — a single
+// "invisible" process action when one exists (crashes of that process
+// are postponed past it), the full enabled set otherwise — and prunes
+// commuting siblings with sleep sets. Fingerprint dedup and cycle
+// detection are kept, so the explore_result verdicts (duplicate_found,
+// lemma62_violated, cycle_found, min/max effectiveness over quiescent
+// states) are exactly those of the brute-force search, at a fraction of
+// the states. See docs/model_checking.md for the independence relation
+// and the soundness argument.
+//
+// The frontier is explored breadth-first in layers, and each layer fans
+// out over an optional svc::worker_pool in fixed-size blocks whose
+// results are merged in block order — states/transitions counts are
+// bit-identical at any pool size (the house invariant, extended to the
+// checker; asserted in tests/test_model_por.cpp).
+#pragma once
+
+#include "model/explorer.hpp"
+
+namespace amo::svc {
+class worker_pool;
+}  // namespace amo::svc
+
+namespace amo::model {
+
+struct por_options {
+  model_config cfg;
+  /// Abort (result.complete = false) after visiting this many states.
+  usize max_states = 20'000'000;
+  /// Frontier parallelism; nullptr (or a 1-worker pool) explores serially.
+  /// The pool must not be running another batch on the calling thread
+  /// (i.e. do not call from inside a pool task).
+  svc::worker_pool* pool = nullptr;
+};
+
+/// Reduction-side observability, deterministic at any pool size.
+struct por_stats {
+  usize singleton_states = 0;  ///< states expanded via an invisible action
+  usize full_states = 0;       ///< states that needed the full enabled set
+  usize sleep_pruned = 0;      ///< transitions skipped by sleep sets
+  usize resumed_states = 0;    ///< re-expansions after a sleep-set shrink
+  usize peak_frontier = 0;     ///< widest BFS layer
+  usize layers = 0;            ///< frontier depth (== result.max_depth)
+};
+
+/// Explores the reduced state graph and returns brute-force-identical
+/// verdicts: duplicate_found, lemma62_violated, cycle_found and the
+/// quiescent min/max effectiveness all match explore() on the same config
+/// (every pruned terminal has an explored verdict-equivalent twin; the
+/// checked predicates are sticky). states/transitions/quiescent_states
+/// count the reduced graph and are <= / typically orders below the full
+/// ones. max_depth reports BFS layers, not the DFS path length.
+explore_result explore_por(const por_options& opt);
+explore_result explore_por(const por_options& opt, por_stats& stats);
+
+}  // namespace amo::model

@@ -71,10 +71,19 @@ explore_result explore(const explore_options& opt) {
     return true;
   };
 
+  // The ~usize{0} running-minimum initializer must never escape: a capped
+  // run with no quiescent state yet would otherwise report a giant
+  // min_effectiveness through run_report/JSON (regression-tested in
+  // tests/test_model_por.cpp).
+  auto normalized = [&result]() -> explore_result& {
+    if (result.quiescent_states == 0) result.min_effectiveness = 0;
+    return result;
+  };
+
   enter(initial_state(cfg));
   while (!stack.empty()) {
     if (result.states >= opt.max_states) {
-      return result;  // capped: result.complete stays false
+      return normalized();  // capped: result.complete stays false
     }
     frame& top = stack.back();
     if (top.next_choice >= top.choices.size()) {
@@ -89,8 +98,7 @@ explore_result explore(const explore_options& opt) {
     enter(std::move(succ));
   }
   result.complete = true;
-  if (result.quiescent_states == 0) result.min_effectiveness = 0;
-  return result;
+  return normalized();
 }
 
 }  // namespace amo::model

@@ -27,7 +27,10 @@ struct explore_result {
   bool cycle_found = false;     ///< some infinite execution exists
   bool lemma62_violated = false;  ///< iter modes: a returned job was performed
   usize quiescent_states = 0;
-  usize min_effectiveness = ~usize{0};  ///< min jobs over quiescent states
+  /// Min jobs over quiescent states; reported as 0 when quiescent_states
+  /// == 0 — the ~usize{0} running-minimum initializer never escapes, on
+  /// the capped path included.
+  usize min_effectiveness = ~usize{0};
   usize max_effectiveness = 0;
   usize max_depth = 0;          ///< longest execution prefix explored
 };

@@ -1,0 +1,209 @@
+// Differential validation of the partial-order-reduced explorer against
+// the brute-force one, plus the determinism and sentinel contracts.
+//
+// explore_por() prunes Mazurkiewicz-equivalent interleavings, so its
+// states/transitions/quiescent counts describe a smaller graph — but every
+// VERDICT the checker exists for must be bit-identical to explore() on the
+// same config: duplicate_found, cycle_found, lemma62_violated, and the
+// min/max effectiveness over quiescent states (every pruned terminal has
+// an explored verdict-equivalent twin). These tests assert exactly that,
+// over the brute-force-feasible grid, all three kk_modes, both selection
+// rules, and a seeded batch of random small configs — and that the POR
+// result (counts included) is bit-identical at any worker-pool size.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/dpor.hpp"
+#include "model/explorer.hpp"
+#include "svc/worker_pool.hpp"
+#include "util/prng.hpp"
+
+namespace amo {
+namespace {
+
+using model::explore;
+using model::explore_options;
+using model::explore_por;
+using model::explore_result;
+using model::por_options;
+using model::por_stats;
+
+model::model_config make_cfg(usize n, usize m, usize beta, usize f,
+                             selection_rule rule, kk_mode mode) {
+  model::model_config cfg;
+  cfg.n = n;
+  cfg.m = m;
+  cfg.beta = beta;
+  cfg.crash_budget = f;
+  cfg.rule = rule;
+  cfg.mode = mode;
+  return cfg;
+}
+
+/// The contract under test: identical verdicts over a reduced graph.
+void expect_equivalent(const explore_result& brute, const explore_result& por,
+                       const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(brute.complete, por.complete);
+  EXPECT_EQ(brute.duplicate_found, por.duplicate_found);
+  EXPECT_EQ(brute.cycle_found, por.cycle_found);
+  EXPECT_EQ(brute.lemma62_violated, por.lemma62_violated);
+  EXPECT_EQ(brute.min_effectiveness, por.min_effectiveness);
+  EXPECT_EQ(brute.max_effectiveness, por.max_effectiveness);
+  // The reduced graph is a subgraph reaching a subset of the terminals —
+  // never more of either, and never zero terminals when brute has some.
+  EXPECT_LE(por.states, brute.states);
+  EXPECT_LE(por.transitions, brute.transitions);
+  EXPECT_LE(por.quiescent_states, brute.quiescent_states);
+  EXPECT_EQ(por.quiescent_states > 0, brute.quiescent_states > 0);
+}
+
+class PorDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<usize, usize, usize, usize, selection_rule, kk_mode>> {};
+
+TEST_P(PorDifferential, VerdictsMatchBruteForce) {
+  const auto [n, m, beta, f, rule, mode] = GetParam();
+  explore_options bo;
+  bo.cfg = make_cfg(n, m, beta, f, rule, mode);
+  const explore_result brute = explore(bo);
+  ASSERT_TRUE(brute.complete);
+
+  por_options po;
+  po.cfg = bo.cfg;
+  const explore_result por = explore_por(po);
+  expect_equivalent(brute, por, "grid");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRank, PorDifferential,
+    ::testing::Values(
+        // plain mode, the Theorem 4.4 operating points
+        std::make_tuple(2, 2, 2, 1, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(3, 2, 2, 1, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(4, 2, 2, 1, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(5, 2, 2, 1, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(4, 2, 2, 0, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(4, 2, 3, 1, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(3, 3, 3, 2, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(4, 3, 3, 2, selection_rule::paper_rank, kk_mode::plain),
+        std::make_tuple(3, 3, 3, 0, selection_rule::paper_rank, kk_mode::plain),
+        // iterative / write-all iterative (lemma 6.2 live here)
+        std::make_tuple(3, 2, 2, 1, selection_rule::paper_rank,
+                        kk_mode::iter_step),
+        std::make_tuple(4, 2, 2, 1, selection_rule::paper_rank,
+                        kk_mode::iter_step),
+        std::make_tuple(3, 3, 3, 2, selection_rule::paper_rank,
+                        kk_mode::iter_step),
+        std::make_tuple(3, 2, 2, 1, selection_rule::paper_rank,
+                        kk_mode::wa_iter_step),
+        std::make_tuple(4, 2, 2, 1, selection_rule::paper_rank,
+                        kk_mode::wa_iter_step),
+        std::make_tuple(3, 3, 3, 1, selection_rule::paper_rank,
+                        kk_mode::wa_iter_step)));
+
+INSTANTIATE_TEST_SUITE_P(
+    // two_ends with beta = 1 livelocks (the re-pick cycle): cycle_found
+    // must survive the reduction.
+    TwoEnds, PorDifferential,
+    ::testing::Values(
+        std::make_tuple(4, 2, 1, 1, selection_rule::two_ends, kk_mode::plain),
+        std::make_tuple(2, 3, 1, 0, selection_rule::two_ends, kk_mode::plain),
+        std::make_tuple(3, 3, 1, 1, selection_rule::two_ends, kk_mode::plain)));
+
+TEST(PorDifferential, RandomizedSmallConfigs) {
+  xoshiro256 rng(0xd09u);
+  for (int i = 0; i < 24; ++i) {
+    const usize m = static_cast<usize>(rng.between(2, 3));
+    const usize n = static_cast<usize>(rng.between(2, m == 3 ? 3 : 5));
+    const usize beta = static_cast<usize>(rng.between(1, m));
+    const usize f = static_cast<usize>(rng.below(m));
+    const selection_rule rule =
+        rng.chance(1, 4) ? selection_rule::two_ends : selection_rule::paper_rank;
+    const kk_mode mode = m == 3 ? kk_mode::plain
+                         : rng.chance(1, 3)
+                             ? kk_mode::iter_step
+                             : rng.chance(1, 2) ? kk_mode::wa_iter_step
+                                                : kk_mode::plain;
+    explore_options bo;
+    bo.cfg = make_cfg(n, m, beta, f, rule, mode);
+    bo.max_states = 4'000'000;
+    const explore_result brute = explore(bo);
+    if (!brute.complete) continue;  // brute capped: nothing to compare against
+
+    por_options po;
+    po.cfg = bo.cfg;
+    po.max_states = 4'000'000;
+    const explore_result por = explore_por(po);
+    expect_equivalent(brute, por,
+                      "random n=" + std::to_string(n) + " m=" +
+                          std::to_string(m) + " beta=" + std::to_string(beta) +
+                          " f=" + std::to_string(f));
+  }
+}
+
+TEST(PorDeterminism, BitIdenticalAtAnyPoolSize) {
+  const auto cfg =
+      make_cfg(4, 3, 3, 2, selection_rule::paper_rank, kk_mode::plain);
+
+  por_options serial;
+  serial.cfg = cfg;
+  por_stats serial_stats;
+  const explore_result base = explore_por(serial, serial_stats);
+
+  // workers = 0 resolves to hardware_concurrency.
+  for (const usize workers : {usize{1}, usize{2}, usize{0}}) {
+    svc::worker_pool pool(workers);
+    por_options opt;
+    opt.cfg = cfg;
+    opt.pool = &pool;
+    por_stats stats;
+    const explore_result r = explore_por(opt, stats);
+    SCOPED_TRACE("workers=" + std::to_string(pool.size()));
+    EXPECT_EQ(base.complete, r.complete);
+    EXPECT_EQ(base.states, r.states);
+    EXPECT_EQ(base.transitions, r.transitions);
+    EXPECT_EQ(base.duplicate_found, r.duplicate_found);
+    EXPECT_EQ(base.cycle_found, r.cycle_found);
+    EXPECT_EQ(base.lemma62_violated, r.lemma62_violated);
+    EXPECT_EQ(base.quiescent_states, r.quiescent_states);
+    EXPECT_EQ(base.min_effectiveness, r.min_effectiveness);
+    EXPECT_EQ(base.max_effectiveness, r.max_effectiveness);
+    EXPECT_EQ(base.max_depth, r.max_depth);
+    // The reduction-side stats are part of the determinism contract too.
+    EXPECT_EQ(serial_stats.singleton_states, stats.singleton_states);
+    EXPECT_EQ(serial_stats.full_states, stats.full_states);
+    EXPECT_EQ(serial_stats.sleep_pruned, stats.sleep_pruned);
+    EXPECT_EQ(serial_stats.resumed_states, stats.resumed_states);
+    EXPECT_EQ(serial_stats.peak_frontier, stats.peak_frontier);
+    EXPECT_EQ(serial_stats.layers, stats.layers);
+  }
+}
+
+TEST(PorSentinel, CappedRunReportsZeroMinEffectiveness) {
+  // Regression for the ~usize{0} running-minimum leak: a run capped before
+  // reaching any quiescent state must report min_effectiveness == 0, for
+  // both explorers.
+  const auto cfg =
+      make_cfg(5, 3, 3, 2, selection_rule::paper_rank, kk_mode::plain);
+
+  explore_options bo;
+  bo.cfg = cfg;
+  bo.max_states = 10;
+  const explore_result brute = explore(bo);
+  EXPECT_FALSE(brute.complete);
+  EXPECT_EQ(brute.quiescent_states, 0u);
+  EXPECT_EQ(brute.min_effectiveness, 0u);
+
+  por_options po;
+  po.cfg = cfg;
+  po.max_states = 10;
+  const explore_result por = explore_por(po);
+  EXPECT_FALSE(por.complete);
+  EXPECT_EQ(por.quiescent_states, 0u);
+  EXPECT_EQ(por.min_effectiveness, 0u);
+}
+
+}  // namespace
+}  // namespace amo
